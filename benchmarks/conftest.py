@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper table/figure: it runs the experiment
+driver once under pytest-benchmark timing (pedantic, single round — the
+experiments are deterministic simulations, not microbenchmarks), prints
+the same rows/series the paper reports, and attaches the headline numbers
+to ``benchmark.extra_info`` so they land in the JSON output.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print one paper-style table to the bench log."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

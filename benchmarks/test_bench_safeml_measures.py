@@ -1,0 +1,61 @@
+"""Ablation bench: SafeML distance-measure choice.
+
+Sweeps the measure family (KS, Kuiper, CVM, AD, Wasserstein, DTS) over a
+graded distribution shift, reporting each measure's response curve
+(normalised to its null level) and its evaluation cost — the trade-off a
+deployment must make when picking the runtime measure.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.safeml.distances import ALL_MEASURES
+
+
+RNG = np.random.default_rng(0)
+REFERENCE = RNG.normal(0.0, 1.0, 600)
+WINDOWS = {
+    shift: RNG.normal(shift, 1.0, 60) for shift in (0.0, 0.25, 0.5, 1.0, 2.0)
+}
+
+
+def test_measure_response_curves(benchmark):
+    def compute():
+        out = {}
+        for name, fn in sorted(ALL_MEASURES.items()):
+            null = fn(REFERENCE[:60], REFERENCE[60:]) + 1e-12
+            out[name] = [fn(WINDOWS[s], REFERENCE) / null for s in sorted(WINDOWS)]
+        return out
+
+    from conftest import run_once
+
+    responses_by_measure = run_once(benchmark, compute)
+    rows = []
+    for name in sorted(ALL_MEASURES):
+        rows.append([name] + [f"{r:.2f}" for r in responses_by_measure[name]])
+    print_table(
+        "SafeML ablation — distance response vs mean shift (x null level)",
+        ["measure"] + [f"shift={s}" for s in sorted(WINDOWS)],
+        rows,
+    )
+    # Every measure must respond monotonically to growing shift at the
+    # scales that matter (>= 0.5 sigma).
+    for name, fn in ALL_MEASURES.items():
+        d_half = fn(WINDOWS[0.5], REFERENCE)
+        d_one = fn(WINDOWS[1.0], REFERENCE)
+        d_two = fn(WINDOWS[2.0], REFERENCE)
+        assert d_half < d_one < d_two, name
+
+
+def test_dts_evaluation_cost(benchmark):
+    """Per-report cost of the default (DTS) measure at deployment sizes."""
+    fn = ALL_MEASURES["dts"]
+    result = benchmark(fn, WINDOWS[1.0], REFERENCE)
+    assert result > 0.0
+
+
+def test_ks_evaluation_cost(benchmark):
+    """The cheapest measure, for comparison with DTS."""
+    fn = ALL_MEASURES["kolmogorov_smirnov"]
+    result = benchmark(fn, WINDOWS[1.0], REFERENCE)
+    assert result > 0.0

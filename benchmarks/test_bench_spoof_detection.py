@@ -1,0 +1,70 @@
+"""Ablation bench: spoof ramp rate vs detection latency and stealth floor.
+
+The paper claims "precise detection of spoofing attacks"; this sweep
+characterises the sensor-level detector across attack aggressiveness —
+from abrupt jumps to slow carry-off ramps — reporting detection latency
+and the residual position error accumulated before detection.
+"""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.security.spoofing import GpsSpoofingDetector
+
+
+def detection_latency_for_ramp(ramp_mps: float, seed: int = 0, dt: float = 0.5):
+    """Simulate a straight flight with a spoof ramp; return latency/error."""
+    rng = np.random.default_rng(seed)
+    detector = GpsSpoofingDetector()
+    truth = np.zeros(3)
+    velocity = np.array([2.0, 0.0, 0.0])
+    onset = 20.0
+    for k in range(1200):
+        now = k * dt
+        truth = truth + velocity * dt
+        offset = np.array([max(0.0, ramp_mps * (now - onset)), 0.0, 0.0])
+        gps = truth + offset + rng.normal(0.0, 0.3, 3)
+        imu = velocity + rng.normal(0.0, 0.05, 3)
+        detector.update(now, tuple(gps), tuple(imu), dt)
+        if detector.spoof_detected:
+            latency = detector.detection_time - onset
+            return latency, ramp_mps * latency
+    return None, None
+
+
+def test_spoof_detection_ramp_sweep(benchmark):
+    ramps = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 5.0, 20.0]
+
+    def sweep():
+        return {ramp: detection_latency_for_ramp(ramp) for ramp in ramps}
+
+    results = run_once(benchmark, sweep)
+
+    rows = []
+    for ramp in ramps:
+        latency, drift = results[ramp]
+        rows.append(
+            [f"{ramp:.2f}",
+             f"{latency:.1f}" if latency is not None else "undetected",
+             f"{drift:.1f}" if drift is not None else "-"]
+        )
+    print_table(
+        "Spoof detection ablation — ramp rate vs latency",
+        ["ramp [m/s]", "detection latency [s]", "drift before detection [m]"],
+        rows,
+    )
+    print(
+        "\nstealth floor: ramps below cumulative_threshold / window "
+        "(2.5 m / 10 s = 0.25 m/s) stay inside the noise budget and are "
+        "undetectable by the sensor channel alone — the network-level "
+        "Security EDDI covers that regime."
+    )
+    # Every ramp at or above the Fig. 6 rate (0.8 m/s) must be caught fast.
+    for ramp in (0.8, 1.6, 5.0, 20.0):
+        latency, _ = results[ramp]
+        assert latency is not None and latency < 15.0
+    # Moderate carry-off attacks are still caught...
+    latency_moderate, _ = results[0.2]
+    assert latency_moderate is not None
+    # ...while sub-floor ramps are the documented stealth regime.
+    assert results[0.05][0] is None

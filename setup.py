@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``python setup.py develop`` / legacy editable installs in offline
+environments without the ``wheel`` package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

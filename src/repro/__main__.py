@@ -1,0 +1,116 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig4          # platform demonstration panel
+    python -m repro fig5          # battery-fault availability
+    python -m repro sar-accuracy  # Sec. V-B altitude adaptation
+    python -m repro fig6          # spoofing trajectory deviation
+    python -m repro fig7          # collaborative safe landing
+    python -m repro conserts      # Fig. 1 scenario matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _run_fig4(seed: int) -> None:
+    from repro.experiments.fig4_platform import run_fig4_platform_demo
+
+    print(run_fig4_platform_demo(seed=seed).render())
+
+
+def _run_fig5(seed: int) -> None:
+    from repro.experiments import run_fig5_battery_experiment
+
+    result = run_fig5_battery_experiment(seed=seed)
+    print(f"nominal mission:        {result.nominal_mission_s:.0f} s")
+    crossing = result.with_sesame.threshold_crossing_time
+    print(f"PoF 0.9 crossing:       {crossing:.0f} s" if crossing else "no crossing")
+    print(
+        f"availability:           {result.availability_with:.3f} with SESAME, "
+        f"{result.availability_without:.3f} without (paper: ~0.91 vs ~0.80)"
+    )
+    print(f"completion improvement: {100 * result.completion_improvement:.1f}%")
+
+
+def _run_sar_accuracy(seed: int) -> None:
+    from repro.experiments import run_sar_accuracy_experiment
+
+    result = run_sar_accuracy_experiment(seed=seed)
+    print(f"uncertainty high/final: {result.uncertainty_high:.3f} / "
+          f"{result.uncertainty_final:.3f} (paper: >0.90 / ~0.75)")
+    print(f"accuracy with/without:  {result.accuracy_with_sesame:.4f} / "
+          f"{result.accuracy_without_sesame:.4f} (paper: 0.998 / lower)")
+    print(f"operating altitude:     {result.final_altitude_m:.0f} m")
+
+
+def _run_fig6(seed: int) -> None:
+    from repro.experiments import run_fig6_spoofing_experiment
+
+    result = run_fig6_spoofing_experiment(seed=seed)
+    print(f"max trajectory deviation: {result.max_deviation_m:.1f} m")
+    print(f"Security EDDI latency:    {result.eddi_latency_s:.1f} s")
+    print(f"IMU cross-check latency:  {result.sensor_latency_s:.1f} s")
+
+
+def _run_fig7(seed: int) -> None:
+    from repro.experiments import run_fig7_collaborative_landing
+
+    result = run_fig7_collaborative_landing(seed=seed)
+    print(f"landed:                {result.cl_report.landed}")
+    print(f"landing error:         {result.cl_report.final_error_m:.2f} m")
+    print(f"baseline (no CL):      {result.baseline_error_m:.2f} m")
+
+
+def _run_conserts(seed: int) -> None:
+    from repro.experiments import run_conserts_scenario_matrix
+
+    for result in run_conserts_scenario_matrix():
+        degraded = result.conditions[0]
+        print(
+            f"rel={degraded.reliability:<6} gps={str(degraded.gps_ok):<5} "
+            f"attack={str(degraded.attack):<5} cam={str(degraded.camera_ok):<5} "
+            f"-> {result.guarantees[0].value:<28} {result.verdict.value}"
+        )
+
+
+COMMANDS = {
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "sar-accuracy": _run_sar_accuracy,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "conserts": _run_conserts,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a paper experiment from the SESAME reproduction.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["list"],
+        help="experiment to run, or 'list' to enumerate",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(COMMANDS):
+            print(name)
+        return 0
+    defaults = {"fig4": 42, "fig5": 3, "sar-accuracy": 5, "fig6": 9, "fig7": 13,
+                "conserts": 0}
+    seed = args.seed if args.seed is not None else defaults[args.experiment]
+    COMMANDS[args.experiment](seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Standard EDDI wiring: technology monitors → ConSert evidence.
+
+Every example and integration test wires the same adapters by hand:
+SafeDrones into the reliability evidence, GPS quality and the spoof
+detector into the localization evidence, camera health into the vision
+evidence, the link monitor into the comm evidence. This module ships that
+wiring as a factory, so deploying the full Fig. 1 assurance stack on a
+simulated UAV is one call::
+
+    eddi, stack = build_uav_eddi(uav, world)
+    ...
+    guarantee = eddi.step(world.time)   # each cycle
+
+The returned :class:`MonitorStack` exposes the individual monitors for
+inspection and for feeding into mission-level components (decider,
+co-engineering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.eddi import Eddi, MonitorAdapter
+from repro.core.uav_network import UavConSertNetwork
+from repro.safedrones.communication import CommLinkMonitor
+from repro.safedrones.monitor import SafeDronesMonitor
+from repro.safeml.monitor import SafeMlMonitor
+from repro.security.spoofing import GpsSpoofingDetector
+from repro.uav.uav import Uav
+from repro.uav.world import World
+
+
+@dataclass
+class MonitorStack:
+    """The technology monitors behind one UAV's EDDI."""
+
+    network: UavConSertNetwork
+    safedrones: SafeDronesMonitor
+    spoof_detector: GpsSpoofingDetector
+    link_monitor: CommLinkMonitor
+    safeml: SafeMlMonitor | None = None
+    cl_range_m: float = 120.0
+
+
+def build_uav_eddi(
+    uav: Uav,
+    world: World,
+    safeml: SafeMlMonitor | None = None,
+    cl_range_m: float = 120.0,
+) -> tuple[Eddi, MonitorStack]:
+    """Wire the full Fig. 1 monitor stack onto one UAV.
+
+    ``safeml``, when provided, must already be fitted; its report gates
+    the ``safeml_confidence_ok`` evidence (confidence HIGH or MEDIUM).
+    Collaborator availability is derived live from the fleet geometry
+    (any peer within ``cl_range_m``).
+    """
+    uav_id = uav.spec.uav_id
+    network = UavConSertNetwork(uav_id=uav_id)
+    network.set_reliability_level("high")
+    stack = MonitorStack(
+        network=network,
+        safedrones=SafeDronesMonitor(uav_id=uav_id, rotor_count=uav.spec.rotor_count),
+        spoof_detector=GpsSpoofingDetector(),
+        link_monitor=CommLinkMonitor(),
+        safeml=safeml,
+        cl_range_m=cl_range_m,
+    )
+
+    def update(now: float) -> None:
+        # SafeDrones -> reliability level.
+        assessment = stack.safedrones.update(
+            now,
+            uav.battery.soc,
+            uav.sensors.temperature.measure(uav.battery.temp_c),
+            motors_failed=uav.motors_failed,
+        )
+        network.set_reliability_level(assessment.level.value)
+
+        # GPS quality + spoof cross-check -> localization/security evidence.
+        fix = uav.sensors.gps.measure(uav.dynamics.position, now)
+        network.set_gps_quality_ok(fix.quality_ok)
+        if fix.valid:
+            verdict = stack.spoof_detector.update(
+                now,
+                world.frame.to_enu(fix.point),
+                uav.sensors.imu.measure(uav.dynamics.ground_velocity),
+                world.dt,
+            )
+            network.set_attack_detected(verdict.spoofed)
+
+        # Vision sensor health + SafeML confidence.
+        network.set_camera_healthy(uav.sensors.camera.operational)
+        network.set_drone_detection_ok(uav.sensors.camera.operational)
+        if stack.safeml is not None and stack.safeml.window_full:
+            report = stack.safeml.report(now)
+            network.set_safeml_confidence_ok(report.level.value != "low")
+
+        # Communication: link quality + collaborator availability.
+        network.set_comm_links_ok(stack.link_monitor.assess(now).link_ok)
+        neighbors = any(
+            peer_id != uav_id
+            and _distance(peer.dynamics.position, uav.dynamics.position)
+            <= stack.cl_range_m
+            for peer_id, peer in world.uavs.items()
+        )
+        network.set_nearby_uavs_available(neighbors)
+
+    eddi = Eddi(name=f"{uav_id}-eddi", network=network)
+    eddi.add_adapter(MonitorAdapter("sesame-stack", update))
+    return eddi, stack
+
+
+def _distance(a: tuple[float, float, float], b: tuple[float, float, float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
+
+
+def build_fleet_eddis(
+    world: World, cl_range_m: float = 120.0
+) -> dict[str, tuple[Eddi, MonitorStack]]:
+    """Build the standard EDDI for every UAV in the world."""
+    return {
+        uav_id: build_uav_eddi(uav, world, cl_range_m=cl_range_m)
+        for uav_id, uav in world.uavs.items()
+    }

@@ -1,0 +1,162 @@
+"""Static analysis of ConSert compositions (design-time checks).
+
+Before a ConSert network ships in a DDI, the integrator wants to know:
+
+* Are there **unbound demands** (a demand with no provider will never be
+  satisfied — the guarantee above it is dead)?
+* Are there **composition cycles** (A demands from B demands from A —
+  evaluation would recurse forever at runtime)?
+* Which guarantees are **reachable at all** under some evidence
+  assignment, and which are dead weight?
+* What is the network's **fallback ladder** — for each ConSert, the
+  guarantee offered as evidence degrades monotonically?
+
+These checks run on the executable models themselves, so design-time
+analysis and the runtime artefact can never drift apart.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.conserts import AndNode, ConSert, Demand, OrNode, RuntimeEvidence
+
+
+def _demands_of(consert: ConSert) -> list[Demand]:
+    return consert.demand_nodes()
+
+
+def find_unbound_demands(conserts: list[ConSert]) -> list[tuple[str, str]]:
+    """(consert, demand) pairs whose demand has no bound provider."""
+    out = []
+    for consert in conserts:
+        for demand in _demands_of(consert):
+            if not demand.providers:
+                out.append((consert.name, demand.name))
+    return out
+
+
+def find_composition_cycles(conserts: list[ConSert]) -> list[list[str]]:
+    """Cycles in the provider graph (consert -> its demand providers).
+
+    Returns each cycle as the list of ConSert names along it; an empty
+    list means the composition is evaluation-safe.
+    """
+    graph: dict[str, set[str]] = {c.name: set() for c in conserts}
+    for consert in conserts:
+        for demand in _demands_of(consert):
+            for provider in demand.providers:
+                graph.setdefault(consert.name, set()).add(provider.name)
+
+    cycles: list[list[str]] = []
+    visiting: list[str] = []
+    done: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in done:
+            return
+        if name in visiting:
+            cycles.append(visiting[visiting.index(name) :] + [name])
+            return
+        visiting.append(name)
+        for neighbor in sorted(graph.get(name, ())):
+            visit(neighbor)
+        visiting.pop()
+        done.add(name)
+
+    for name in sorted(graph):
+        visit(name)
+    return cycles
+
+
+@dataclass(frozen=True)
+class ReachabilityReport:
+    """Which guarantees of one ConSert are offerable at all."""
+
+    consert: str
+    reachable: list[str]
+    unreachable: list[str]
+
+
+def _collect_evidence(conserts: list[ConSert]) -> list[RuntimeEvidence]:
+    seen: dict[int, RuntimeEvidence] = {}
+    for consert in conserts:
+        for evidence in consert.evidence_nodes():
+            seen[id(evidence)] = evidence
+    return list(seen.values())
+
+
+def guarantee_reachability(
+    conserts: list[ConSert], max_evidence: int = 16
+) -> list[ReachabilityReport]:
+    """Exhaustively test evidence assignments for offerable guarantees.
+
+    Exact over all 2^n evidence assignments; refuses networks with more
+    than ``max_evidence`` distinct evidence nodes (use sampling or
+    per-subtree analysis beyond that).
+    """
+    evidence_nodes = _collect_evidence(conserts)
+    if len(evidence_nodes) > max_evidence:
+        raise ValueError(
+            f"{len(evidence_nodes)} evidence nodes exceed max_evidence="
+            f"{max_evidence}"
+        )
+    original = [e.value for e in evidence_nodes]
+    offered: dict[str, set[str]] = {c.name: set() for c in conserts}
+    try:
+        for assignment in itertools.product((False, True), repeat=len(evidence_nodes)):
+            for evidence, value in zip(evidence_nodes, assignment):
+                evidence.value = value
+            for consert in conserts:
+                guarantee = consert.evaluate()
+                if guarantee is not None:
+                    offered[consert.name].add(guarantee.name)
+    finally:
+        for evidence, value in zip(evidence_nodes, original):
+            evidence.value = value
+    reports = []
+    for consert in conserts:
+        names = consert.guarantee_names()
+        reachable = [n for n in names if n in offered[consert.name]]
+        reports.append(
+            ReachabilityReport(
+                consert=consert.name,
+                reachable=reachable,
+                unreachable=[n for n in names if n not in offered[consert.name]],
+            )
+        )
+    return reports
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Combined design-time validation verdict for a composition."""
+
+    unbound_demands: list[tuple[str, str]]
+    cycles: list[list[str]]
+    unreachable_guarantees: list[tuple[str, str]]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the composition passes every check."""
+        return not (
+            self.unbound_demands or self.cycles or self.unreachable_guarantees
+        )
+
+
+def validate_composition(
+    conserts: list[ConSert], check_reachability: bool = True, max_evidence: int = 16
+) -> ValidationResult:
+    """Run all static checks over a ConSert composition."""
+    unbound = find_unbound_demands(conserts)
+    cycles = find_composition_cycles(conserts)
+    unreachable: list[tuple[str, str]] = []
+    if check_reachability and not cycles:
+        for report in guarantee_reachability(conserts, max_evidence):
+            unreachable.extend((report.consert, name) for name in report.unreachable)
+    return ValidationResult(
+        unbound_demands=unbound,
+        cycles=cycles,
+        unreachable_guarantees=unreachable,
+    )

@@ -1,0 +1,141 @@
+"""GSN-style assurance cases.
+
+"The core of a DDI is an assurance case — a clear, organized argument
+that demonstrates that the system meets dependability requirements",
+linking "requirements, assumptions, architecture models, dependability
+analyses, and verification documents into a cohesive narrative"
+(Sec. III). This module implements the Goal Structuring Notation subset
+needed to express and check such arguments: goals decomposed through
+strategies down to solutions (evidence), with structural validation
+(no undeveloped goals, no dangling strategies) and live evidence status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Solution:
+    """A leaf evidence item.
+
+    ``check`` optionally binds the solution to a live predicate (e.g. "the
+    SafeDrones monitor reports PoF below threshold"); static documentary
+    evidence uses the default always-true check.
+    """
+
+    sol_id: str
+    statement: str
+    check: Callable[[], bool] = lambda: True
+
+    def supported(self) -> bool:
+        """Whether the evidence currently holds."""
+        return bool(self.check())
+
+
+@dataclass
+class Strategy:
+    """An argumentation step decomposing a goal into subgoals."""
+
+    strat_id: str
+    statement: str
+    subgoals: list["Goal"] = field(default_factory=list)
+
+    def add_goal(self, goal: "Goal") -> "Goal":
+        """Attach a subgoal."""
+        self.subgoals.append(goal)
+        return goal
+
+    def supported(self) -> bool:
+        """A strategy holds when every subgoal holds."""
+        return bool(self.subgoals) and all(g.supported() for g in self.subgoals)
+
+
+@dataclass
+class Goal:
+    """A claim, supported either by strategies or directly by solutions."""
+
+    goal_id: str
+    statement: str
+    strategies: list[Strategy] = field(default_factory=list)
+    solutions: list[Solution] = field(default_factory=list)
+
+    def add_strategy(self, strategy: Strategy) -> Strategy:
+        """Attach a decomposition strategy."""
+        self.strategies.append(strategy)
+        return strategy
+
+    def add_solution(self, solution: Solution) -> Solution:
+        """Attach direct evidence."""
+        self.solutions.append(solution)
+        return solution
+
+    @property
+    def developed(self) -> bool:
+        """Whether the goal has any support structure at all."""
+        return bool(self.strategies) or bool(self.solutions)
+
+    def supported(self) -> bool:
+        """A goal holds when all strategies hold and all solutions hold.
+
+        An undeveloped goal is unsupported by definition.
+        """
+        if not self.developed:
+            return False
+        return all(s.supported() for s in self.strategies) and all(
+            s.supported() for s in self.solutions
+        )
+
+
+@dataclass
+class AssuranceCase:
+    """A rooted assurance argument."""
+
+    name: str
+    root: Goal
+
+    def undeveloped_goals(self) -> list[Goal]:
+        """All goals lacking any strategies or solutions."""
+        found: list[Goal] = []
+
+        def walk(goal: Goal) -> None:
+            if not goal.developed:
+                found.append(goal)
+            for strategy in goal.strategies:
+                for sub in strategy.subgoals:
+                    walk(sub)
+
+        walk(self.root)
+        return found
+
+    def is_complete(self) -> bool:
+        """Structurally complete: no undeveloped goals anywhere."""
+        return not self.undeveloped_goals()
+
+    def evaluate(self) -> bool:
+        """Whether the root claim currently holds given live evidence."""
+        return self.root.supported()
+
+    def render(self) -> str:
+        """Human-readable indented rendering of the argument."""
+        lines: list[str] = []
+
+        def walk_goal(goal: Goal, depth: int) -> None:
+            status = "OK" if goal.supported() else "FAIL"
+            lines.append(f"{'  ' * depth}[{goal.goal_id}] {goal.statement} ({status})")
+            for solution in goal.solutions:
+                mark = "OK" if solution.supported() else "FAIL"
+                lines.append(
+                    f"{'  ' * (depth + 1)}(sol {solution.sol_id}) "
+                    f"{solution.statement} ({mark})"
+                )
+            for strategy in goal.strategies:
+                lines.append(
+                    f"{'  ' * (depth + 1)}<{strategy.strat_id}> {strategy.statement}"
+                )
+                for sub in strategy.subgoals:
+                    walk_goal(sub, depth + 2)
+
+        walk_goal(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Runtime safety-security co-engineering.
+
+The paper (Sec. III-B) notes that "to help ensure compatibility and
+interaction of Safety EDDI and Security EDDIs ... a runtime
+Safety-Security Co-Engineering concept has been proposed [36]", combining
+both views of dependability "in a holistic manner".
+
+This module implements that bridge executably:
+
+* :class:`SecurityInformedEvent` — a fault-tree *complex basic event*
+  whose probability is driven by attack-tree progress, so cyber attack
+  evidence raises the safety-level probability of failure (security →
+  safety direction).
+* :class:`CoEngineeringMonitor` — fuses a SafeDrones assessment and a
+  Security EDDI state into one holistic dependability verdict, with the
+  combination rules the co-engineering workflow prescribes: an achieved
+  attack goal caps the dependability level regardless of how healthy the
+  hardware looks, and degraded reliability lowers tolerance for partial
+  attack progress.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.safedrones.monitor import ReliabilityLevel, SafeDronesMonitor
+from repro.security.attack_trees import AttackTree
+from repro.security.eddi import SecurityEddi
+
+
+@dataclass
+class SecurityInformedEvent:
+    """Attack-tree progress exposed as a fault-tree basic event.
+
+    The event's probability is the attack tree's leaf progress scaled by
+    ``success_given_goal`` — the conditional probability that the safety
+    hazard materialises once the adversary reaches the root goal. While
+    the goal is unreached, partial progress contributes proportionally
+    (the attack may still complete during the remaining mission).
+    """
+
+    name: str
+    tree: AttackTree
+    success_given_goal: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.success_given_goal <= 1.0:
+            raise ValueError("success_given_goal must be in [0, 1]")
+
+    @property
+    def failure_probability(self) -> float:
+        """Current hazard probability contributed by the attack."""
+        if self.tree.root_achieved():
+            return self.success_given_goal
+        return self.success_given_goal * self.tree.progress() * 0.5
+
+
+class DependabilityLevel(enum.Enum):
+    """Holistic verdict vocabulary of the co-engineering monitor."""
+
+    DEPENDABLE = "dependable"
+    DEGRADED = "degraded"
+    COMPROMISED = "compromised"
+
+
+@dataclass(frozen=True)
+class CoAssessment:
+    """One fused safety+security assessment."""
+
+    stamp: float
+    level: DependabilityLevel
+    reliability_level: ReliabilityLevel
+    attack_goal_reached: bool
+    attack_progress: float
+    combined_failure_probability: float
+
+
+@dataclass
+class CoEngineeringMonitor:
+    """Fuses one UAV's Safety EDDI and Security EDDI at runtime.
+
+    Combination rules (conservative, per the co-engineering workflow):
+
+    * attack goal reached → COMPROMISED, whatever the hardware says;
+    * LOW reliability → DEGRADED at best;
+    * MEDIUM reliability tolerates no attack progress — any achieved
+      attack step demotes to DEGRADED;
+    * otherwise DEPENDABLE.
+    """
+
+    safety: SafeDronesMonitor
+    security: SecurityEddi
+    history: list[CoAssessment] = field(default_factory=list)
+
+    def assess(self, now: float) -> CoAssessment:
+        """Produce the fused verdict from the two monitors' current state."""
+        latest = self.safety.latest
+        reliability = latest.level if latest is not None else ReliabilityLevel.HIGH
+        safety_pof = latest.failure_probability if latest is not None else 0.0
+        goal_reached = self.security.root_achieved
+        progress = self.security.tree.progress()
+
+        if goal_reached:
+            level = DependabilityLevel.COMPROMISED
+        elif reliability is ReliabilityLevel.LOW:
+            level = DependabilityLevel.DEGRADED
+        elif reliability is ReliabilityLevel.MEDIUM and progress > 0.0:
+            level = DependabilityLevel.DEGRADED
+        elif progress >= 0.5:
+            level = DependabilityLevel.DEGRADED
+        else:
+            level = DependabilityLevel.DEPENDABLE
+
+        security_event = SecurityInformedEvent("attack", self.security.tree)
+        combined = 1.0 - (1.0 - safety_pof) * (
+            1.0 - security_event.failure_probability
+        )
+        assessment = CoAssessment(
+            stamp=now,
+            level=level,
+            reliability_level=reliability,
+            attack_goal_reached=goal_reached,
+            attack_progress=progress,
+            combined_failure_probability=combined,
+        )
+        self.history.append(assessment)
+        return assessment

@@ -1,0 +1,99 @@
+"""The Executable DDI runtime loop.
+
+An EDDI is a "model-based artefact ... with runtime components for
+monitoring, diagnosis, and response" (Sec. III). Concretely, each cycle:
+
+1. **Monitor** — every registered adapter samples its technology
+   (SafeDrones, SafeML, Security EDDI, GPS quality, ...) and updates the
+   runtime evidence in the UAV's ConSert network.
+2. **Diagnose** — the ConSert network is evaluated bottom-up, yielding the
+   strongest guarantee the UAV can currently offer.
+3. **Respond** — when the offered guarantee changes, the matching response
+   hook fires (e.g. command HOLD, trigger collaborative localization,
+   initiate emergency landing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.uav_network import UavConSertNetwork, UavGuarantee
+
+
+@dataclass
+class MonitorAdapter:
+    """Binds one technology monitor into the EDDI cycle.
+
+    ``update(now)`` must sample the technology and push fresh evidence
+    into the ConSert network (typically via the network's setters,
+    captured in a closure).
+    """
+
+    name: str
+    update: Callable[[float], None]
+
+
+@dataclass(frozen=True)
+class EddiResponse:
+    """Record of one dispatched response."""
+
+    stamp: float
+    guarantee: UavGuarantee
+    previous: UavGuarantee | None
+
+
+@dataclass
+class Eddi:
+    """Executable DDI for one UAV."""
+
+    name: str
+    network: UavConSertNetwork
+    adapters: list[MonitorAdapter] = field(default_factory=list)
+    responses: dict[UavGuarantee, Callable[[EddiResponse], None]] = field(
+        default_factory=dict
+    )
+    current_guarantee: UavGuarantee | None = None
+    response_log: list[EddiResponse] = field(default_factory=list)
+    guarantee_trace: list[tuple[float, UavGuarantee]] = field(default_factory=list)
+
+    def add_adapter(self, adapter: MonitorAdapter) -> None:
+        """Register a monitoring adapter."""
+        self.adapters.append(adapter)
+
+    def on_guarantee(
+        self, guarantee: UavGuarantee, callback: Callable[[EddiResponse], None]
+    ) -> None:
+        """Register a response fired when ``guarantee`` becomes active."""
+        self.responses[guarantee] = callback
+
+    def step(self, now: float) -> UavGuarantee:
+        """Run one monitor/diagnose/respond cycle; returns the guarantee."""
+        for adapter in self.adapters:
+            adapter.update(now)
+        guarantee = self.network.evaluate()
+        self.guarantee_trace.append((now, guarantee))
+        if guarantee is not self.current_guarantee:
+            response = EddiResponse(
+                stamp=now, guarantee=guarantee, previous=self.current_guarantee
+            )
+            self.response_log.append(response)
+            self.current_guarantee = guarantee
+            callback = self.responses.get(guarantee)
+            if callback is not None:
+                callback(response)
+        return guarantee
+
+    def time_in_guarantee(self, guarantee: UavGuarantee) -> float:
+        """Total simulated time spent offering ``guarantee``.
+
+        Computed from the guarantee trace assuming uniform step spacing
+        between consecutive trace entries.
+        """
+        if len(self.guarantee_trace) < 2:
+            return 0.0
+        total = 0.0
+        for (t0, g), (t1, _) in zip(self.guarantee_trace, self.guarantee_trace[1:]):
+            if g is guarantee:
+                total += t1 - t0
+        return total

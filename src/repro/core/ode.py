@@ -1,0 +1,160 @@
+"""Open Dependability Exchange (ODE) style model packaging.
+
+"Safety models can be sourced from development tools compatible with the
+Open Dependability Exchange (ODE) metamodel for seamless export"
+(Sec. III-A). This module provides the interchange layer: a package
+bundling the design-time dependability models of one system (ConSert
+structure, fault trees, attack trees) with provenance metadata,
+serialisable to JSON and reconstructible into executable runtime models —
+which is precisely the DDI -> EDDI generation step of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.conserts import AndNode, ConSert, Demand, Guarantee, OrNode, RuntimeEvidence
+from repro.security.attack_trees import AttackTree
+
+
+def conserts_to_dict(consert: ConSert) -> dict[str, Any]:
+    """Serialise a ConSert's structure (evidence values are design-time)."""
+
+    def encode(node: Any) -> dict[str, Any]:
+        if isinstance(node, RuntimeEvidence):
+            return {"kind": "evidence", "name": node.name, "description": node.description}
+        if isinstance(node, Demand):
+            return {
+                "kind": "demand",
+                "name": node.name,
+                "accepted": sorted(node.accepted_guarantees),
+                "providers": [p.name for p in node.providers],
+            }
+        if isinstance(node, AndNode):
+            return {"kind": "and", "children": [encode(c) for c in node.children]}
+        if isinstance(node, OrNode):
+            return {"kind": "or", "children": [encode(c) for c in node.children]}
+        raise TypeError(f"unknown node type {type(node)!r}")
+
+    return {
+        "name": consert.name,
+        "guarantees": [
+            {
+                "name": g.name,
+                "description": g.description,
+                "condition": encode(g.condition) if g.condition is not None else None,
+            }
+            for g in consert.guarantees
+        ],
+    }
+
+
+def consert_from_dict(
+    data: dict[str, Any], providers: dict[str, ConSert] | None = None
+) -> ConSert:
+    """Rebuild an executable ConSert from its serialised form.
+
+    ``providers`` maps provider names to already-reconstructed ConSerts so
+    demands re-bind across the package; unresolvable providers are left
+    unbound (the integrator binds them later).
+    """
+    providers = providers or {}
+    evidence_cache: dict[str, RuntimeEvidence] = {}
+
+    def decode(node: dict[str, Any]) -> Any:
+        kind = node["kind"]
+        if kind == "evidence":
+            if node["name"] not in evidence_cache:
+                evidence_cache[node["name"]] = RuntimeEvidence(
+                    node["name"], False, node.get("description", "")
+                )
+            return evidence_cache[node["name"]]
+        if kind == "demand":
+            demand = Demand(
+                node["name"],
+                frozenset(node["accepted"]),
+                description="",
+            )
+            for provider_name in node.get("providers", ()):
+                if provider_name in providers:
+                    demand.bind(providers[provider_name])
+            return demand
+        if kind == "and":
+            return AndNode([decode(c) for c in node["children"]])
+        if kind == "or":
+            return OrNode([decode(c) for c in node["children"]])
+        raise ValueError(f"unknown node kind {kind!r}")
+
+    return ConSert(
+        name=data["name"],
+        guarantees=[
+            Guarantee(
+                g["name"],
+                decode(g["condition"]) if g["condition"] is not None else None,
+                g.get("description", ""),
+            )
+            for g in data["guarantees"]
+        ],
+    )
+
+
+@dataclass
+class OdePackage:
+    """A DDI package: dependability models plus provenance metadata."""
+
+    system_name: str
+    version: str = "1.0"
+    conserts: list[dict[str, Any]] = field(default_factory=list)
+    attack_trees: list[str] = field(default_factory=list)  # AttackTree JSON blobs
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def add_consert(self, consert: ConSert) -> None:
+        """Attach a ConSert model to the package."""
+        self.conserts.append(conserts_to_dict(consert))
+
+    def add_attack_tree(self, tree: AttackTree) -> None:
+        """Attach an attack-tree model to the package."""
+        self.attack_trees.append(tree.to_json())
+
+    def to_json(self) -> str:
+        """Serialise the whole package."""
+        return json.dumps(
+            {
+                "system": self.system_name,
+                "version": self.version,
+                "metadata": self.metadata,
+                "conserts": self.conserts,
+                "attack_trees": [json.loads(t) for t in self.attack_trees],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "OdePackage":
+        """Load a package serialised by :meth:`to_json`."""
+        data = json.loads(text)
+        return cls(
+            system_name=data["system"],
+            version=data.get("version", "1.0"),
+            conserts=data.get("conserts", []),
+            attack_trees=[json.dumps(t) for t in data.get("attack_trees", [])],
+            metadata=data.get("metadata", {}),
+        )
+
+    def instantiate_conserts(self) -> dict[str, ConSert]:
+        """Generate executable ConSerts (the DDI -> EDDI step).
+
+        Reconstructs in package order, so providers serialised before
+        their consumers re-bind automatically.
+        """
+        built: dict[str, ConSert] = {}
+        for data in self.conserts:
+            consert = consert_from_dict(data, providers=built)
+            built[consert.name] = consert
+        return built
+
+    def instantiate_attack_trees(self) -> list[AttackTree]:
+        """Reconstruct executable attack trees."""
+        return [AttackTree.from_json(t) for t in self.attack_trees]

@@ -1,0 +1,105 @@
+"""Standard response policy: ConSert guarantees → platform commands.
+
+Closes the EDDI loop's *respond* edge as a reusable component. The paper's
+Fig. 1 guarantee vocabulary maps directly onto flight commands:
+
+=============================  =======================================
+Guarantee                      Response
+=============================  =======================================
+continue_mission_extra_tasks   none (and the UAV is takeover-eligible)
+continue_mission               none
+hold_position                  HOLD until the situation clears
+return_to_base                 RETURN_TO_BASE
+emergency_land                 EMERGENCY_LAND
+=============================  =======================================
+
+Additionally, when the mission decider rules REDISTRIBUTE, the policy
+invokes the task redistributor over the dropped UAVs — the "&
+Redistribute task among remaining capable UAVs" edge of Fig. 1 — and
+when a UAV resumes a mission-capable guarantee out of HOLD, it resumes
+the mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decider import MissionDecider, MissionVerdict
+from repro.core.eddi import Eddi, EddiResponse
+from repro.core.uav_network import UavGuarantee
+from repro.sar.redistribution import RedistributionAssignment, TaskRedistributor
+from repro.uav.uav import FlightMode, Uav
+
+
+@dataclass
+class StandardResponsePolicy:
+    """Binds one UAV's EDDI guarantees to its flight commands."""
+
+    uav: Uav
+    eddi: Eddi
+    log: list[tuple[float, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.eddi.on_guarantee(UavGuarantee.HOLD_POSITION, self._hold)
+        self.eddi.on_guarantee(UavGuarantee.RETURN_TO_BASE, self._return_to_base)
+        self.eddi.on_guarantee(UavGuarantee.EMERGENCY_LAND, self._emergency_land)
+        self.eddi.on_guarantee(UavGuarantee.CONTINUE_MISSION, self._resume)
+        self.eddi.on_guarantee(UavGuarantee.CONTINUE_MISSION_EXTRA, self._resume)
+
+    def _hold(self, response: EddiResponse) -> None:
+        if self.uav.mode is FlightMode.MISSION:
+            self.uav.command_mode(FlightMode.HOLD)
+            self.log.append((response.stamp, "hold_position"))
+
+    def _return_to_base(self, response: EddiResponse) -> None:
+        if self.uav.mode not in (FlightMode.LANDED, FlightMode.EMERGENCY_LAND):
+            self.uav.command_mode(FlightMode.RETURN_TO_BASE)
+            self.log.append((response.stamp, "return_to_base"))
+
+    def _emergency_land(self, response: EddiResponse) -> None:
+        if self.uav.mode is not FlightMode.LANDED:
+            self.uav.command_mode(FlightMode.EMERGENCY_LAND)
+            self.log.append((response.stamp, "emergency_land"))
+
+    def _resume(self, response: EddiResponse) -> None:
+        # Only resume out of a policy-commanded HOLD; never override an
+        # operator's explicit RTB or a completed mission.
+        if (
+            self.uav.mode is FlightMode.HOLD
+            and not self.uav.plan.complete
+            and response.previous is UavGuarantee.HOLD_POSITION
+        ):
+            self.uav.command_mode(FlightMode.MISSION)
+            self.log.append((response.stamp, "resume_mission"))
+
+
+@dataclass
+class FleetResponseCoordinator:
+    """Mission-level response: decider verdicts → fleet actions.
+
+    Call :meth:`step` each EDDI cycle (after the per-UAV EDDIs stepped).
+    On a REDISTRIBUTE verdict, each newly dropped UAV's remaining coverage
+    is split among the takeover-capable UAVs exactly once.
+    """
+
+    decider: MissionDecider
+    uavs: dict[str, Uav]
+    redistributor: TaskRedistributor = field(default_factory=TaskRedistributor)
+    handled_dropouts: set[str] = field(default_factory=set)
+    assignments: list[RedistributionAssignment] = field(default_factory=list)
+
+    def step(self, now: float) -> MissionVerdict:
+        """Evaluate the mission verdict and apply fleet-level responses."""
+        decision = self.decider.decide()
+        if decision.verdict is MissionVerdict.REDISTRIBUTE:
+            takeover = [self.uavs[u] for u in decision.takeover_uavs]
+            for dropped_id in decision.dropped_uavs:
+                if dropped_id in self.handled_dropouts:
+                    continue
+                self.handled_dropouts.add(dropped_id)
+                dropped = self.uavs[dropped_id]
+                if takeover and not dropped.plan.complete:
+                    self.assignments.extend(
+                        self.redistributor.execute(dropped, takeover)
+                    )
+        return decision.verdict

@@ -1,0 +1,52 @@
+"""Shared scenario construction for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import EnuFrame, GeoPoint
+from repro.uav.uav import Uav, UavSpec
+from repro.uav.world import World
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A world populated with a three-UAV fleet, ready for an experiment."""
+
+    world: World
+    uav_ids: tuple[str, ...]
+
+
+def build_three_uav_world(
+    seed: int = 0,
+    area_size_m: tuple[float, float] = (400.0, 300.0),
+    dt: float = 0.5,
+    n_persons: int = 8,
+) -> FleetScenario:
+    """Create the paper's three-UAV setup on a fresh world.
+
+    UAVs start at spaced base positions along the south edge, matching the
+    platform demonstration of Fig. 4.
+    """
+    rng = np.random.default_rng(seed)
+    world = World(
+        frame=EnuFrame(origin=GeoPoint(35.1456, 33.4299, 0.0)),
+        rng=rng,
+        area_size_m=area_size_m,
+        dt=dt,
+    )
+    uav_ids = ("uav1", "uav2", "uav3")
+    for i, uav_id in enumerate(uav_ids):
+        base = (30.0 + 150.0 * i, -20.0, 0.0)
+        uav = Uav(
+            spec=UavSpec(uav_id=uav_id, base_position=base),
+            frame=world.frame,
+            bus=world.bus,
+            rng=rng,
+        )
+        world.add_uav(uav)
+    if n_persons > 0:
+        world.scatter_persons(n_persons)
+    return FleetScenario(world=world, uav_ids=uav_ids)

@@ -1,0 +1,90 @@
+"""Fig. 1 — evaluation of the hierarchical ConSert network over scenarios.
+
+Exercises the full per-UAV ConSert network plus the mission-level decider
+across a matrix of operating conditions (reliability levels x localization
+availability x security state), reproducing the decision logic the paper's
+Fig. 1 diagram specifies: which guarantee each UAV offers and what the
+mission-level verdict becomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.core.decider import MissionDecider, MissionVerdict
+from repro.core.uav_network import UavConSertNetwork, UavGuarantee
+
+
+@dataclass(frozen=True)
+class UavCondition:
+    """One UAV's monitored condition set."""
+
+    reliability: str = "high"  # high | medium | low
+    gps_ok: bool = True
+    attack: bool = False
+    camera_ok: bool = True
+    safeml_ok: bool = True
+    comm_ok: bool = True
+    neighbors: bool = True
+    drone_detection_ok: bool = True
+
+
+def apply_condition(network: UavConSertNetwork, condition: UavCondition) -> None:
+    """Push a condition set into a UAV's runtime evidence."""
+    network.set_reliability_level(condition.reliability)
+    network.set_gps_quality_ok(condition.gps_ok)
+    network.set_attack_detected(condition.attack)
+    network.set_camera_healthy(condition.camera_ok)
+    network.set_safeml_confidence_ok(condition.safeml_ok)
+    network.set_comm_links_ok(condition.comm_ok)
+    network.set_nearby_uavs_available(condition.neighbors)
+    network.set_drone_detection_ok(condition.drone_detection_ok)
+
+
+@dataclass(frozen=True)
+class ConsertScenarioResult:
+    """One evaluated fleet scenario."""
+
+    conditions: tuple[UavCondition, ...]
+    guarantees: tuple[UavGuarantee, ...]
+    navigation: tuple[str, ...]
+    verdict: MissionVerdict
+
+
+def evaluate_fleet(conditions: list[UavCondition]) -> ConsertScenarioResult:
+    """Evaluate a fleet of UAVs under the given per-UAV conditions."""
+    decider = MissionDecider()
+    networks = []
+    for i, condition in enumerate(conditions):
+        network = UavConSertNetwork(uav_id=f"uav{i + 1}")
+        apply_condition(network, condition)
+        decider.add_uav(network)
+        networks.append(network)
+    decision = decider.decide()
+    return ConsertScenarioResult(
+        conditions=tuple(conditions),
+        guarantees=tuple(decision.uav_guarantees[n.uav_id] for n in networks),
+        navigation=tuple(n.navigation_guarantee() for n in networks),
+        verdict=decision.verdict,
+    )
+
+
+def run_conserts_scenario_matrix(n_uavs: int = 3) -> list[ConsertScenarioResult]:
+    """Evaluate a representative condition matrix for a fleet.
+
+    One UAV sweeps through degradation combinations while the rest stay
+    healthy — the single-failure analysis the mission decider is built
+    for.
+    """
+    healthy = UavCondition()
+    results = []
+    for reliability, gps_ok, attack, camera_ok in product(
+        ("high", "medium", "low"), (True, False), (False, True), (True, False)
+    ):
+        degraded = UavCondition(
+            reliability=reliability, gps_ok=gps_ok, attack=attack, camera_ok=camera_ok
+        )
+        conditions = [degraded] + [healthy] * (n_uavs - 1)
+        results.append(evaluate_fleet(conditions))
+    return results

@@ -1,0 +1,96 @@
+"""Monte Carlo robustness study over the Fig. 5 scenario.
+
+The paper evaluates one battery-fault trajectory; this study sweeps the
+scenario space — fault onset time, post-fault SoC, and random seed — and
+reports the availability advantage of the SESAME policy as a
+distribution, answering "does the Fig. 5 conclusion survive scenario
+perturbation?" (it should: the SESAME policy dominates whenever the fault
+leaves enough margin to finish the mission, and ties otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import repro.experiments.fig5_battery as fig5
+
+
+@dataclass(frozen=True)
+class MonteCarloSample:
+    """One perturbed Fig. 5 run."""
+
+    seed: int
+    fault_time_s: float
+    soc_after_fault: float
+    availability_with: float
+    availability_without: float
+    completed_one_pass: bool
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Aggregate over all samples."""
+
+    samples: list[MonteCarloSample]
+
+    @property
+    def mean_advantage(self) -> float:
+        """Mean availability advantage (with - without)."""
+        diffs = [
+            s.availability_with - s.availability_without for s in self.samples
+        ]
+        return sum(diffs) / len(diffs)
+
+    @property
+    def win_rate(self) -> float:
+        """Fraction of scenarios where SESAME strictly wins."""
+        wins = sum(
+            1
+            for s in self.samples
+            if s.availability_with > s.availability_without + 1e-9
+        )
+        return wins / len(self.samples)
+
+    @property
+    def one_pass_rate(self) -> float:
+        """Fraction of scenarios completed without a mid-mission abort."""
+        return sum(1 for s in self.samples if s.completed_one_pass) / len(self.samples)
+
+
+def run_monte_carlo_fig5(
+    fault_times=(150.0, 250.0, 350.0),
+    soc_levels=(0.35, 0.40, 0.45),
+    seeds=(3, 7),
+) -> MonteCarloResult:
+    """Sweep the Fig. 5 scenario space.
+
+    Perturbs the module-level scenario constants around the paper's
+    values and restores them afterwards.
+    """
+    samples = []
+    original = (fig5.FAULT_TIME_S, fig5.SOC_AFTER_FAULT)
+    try:
+        for fault_time in fault_times:
+            for soc in soc_levels:
+                for seed in seeds:
+                    fig5.FAULT_TIME_S = fault_time
+                    fig5.SOC_AFTER_FAULT = soc
+                    result = fig5.run_fig5_battery_experiment(seed=seed)
+                    samples.append(
+                        MonteCarloSample(
+                            seed=seed,
+                            fault_time_s=fault_time,
+                            soc_after_fault=soc,
+                            availability_with=result.availability_with,
+                            availability_without=result.availability_without,
+                            completed_one_pass=(
+                                result.with_sesame.abort_time is None
+                                and result.with_sesame.mission_complete_time
+                                is not None
+                            ),
+                        )
+                    )
+    finally:
+        fig5.FAULT_TIME_S, fig5.SOC_AFTER_FAULT = original
+    return MonteCarloResult(samples=samples)

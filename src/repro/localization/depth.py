@@ -1,0 +1,46 @@
+"""Monocular depth (range) estimation for drone-to-drone sightings.
+
+Substitute for the MiDaS-style monocular depth network on the Jetson: a
+pinhole-geometry range estimator whose error is multiplicative in range —
+the dominant error characteristic of real monocular depth (apparent-size
+scaling), so the collaborative fusion downstream faces the same error
+structure the paper's system does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MonocularDepthEstimator:
+    """Range estimator with range-proportional noise and a floor.
+
+    ``relative_sigma`` is the 1-sigma multiplicative error (e.g. 0.06 =
+    6% of range); ``floor_sigma_m`` bounds the error at close range where
+    pixel quantisation dominates. ``max_range_m`` is the working envelope
+    of the detector — beyond it estimates are refused.
+    """
+
+    rng: np.random.Generator
+    relative_sigma: float = 0.06
+    floor_sigma_m: float = 0.3
+    max_range_m: float = 120.0
+
+    def estimate(self, true_range_m: float) -> tuple[float, float]:
+        """Return ``(range_estimate_m, sigma_m)`` for one sighting.
+
+        Raises ``ValueError`` outside the working envelope; the caller
+        (the drone detector) filters by range first.
+        """
+        if true_range_m <= 0.0:
+            raise ValueError("range must be positive")
+        if true_range_m > self.max_range_m:
+            raise ValueError(
+                f"range {true_range_m:.1f} m beyond envelope {self.max_range_m} m"
+            )
+        sigma = max(self.floor_sigma_m, self.relative_sigma * true_range_m)
+        estimate = true_range_m + float(self.rng.normal(0.0, sigma))
+        return max(0.1, estimate), sigma

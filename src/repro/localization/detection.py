@@ -1,0 +1,88 @@
+"""Visual detection of nearby UAVs by collaborator aircraft.
+
+Substitute for the tinyYOLOv4 drone detector: given the observer and
+target poses, produce a detection with bearing/elevation measured from the
+camera geometry (with angular noise) and a monocular range estimate, or
+miss entirely with a range- and camera-health-dependent probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.localization.depth import MonocularDepthEstimator
+
+
+@dataclass(frozen=True)
+class DroneDetection:
+    """One sighting of a target UAV from an observer UAV."""
+
+    observer_id: str
+    target_id: str
+    stamp: float
+    bearing_deg: float  # azimuth from north, observer -> target
+    elevation_deg: float  # positive up
+    range_m: float  # monocular estimate
+    range_sigma_m: float
+    confidence: float
+
+
+@dataclass
+class DroneDetector:
+    """Range/health-dependent detector with angular measurement noise."""
+
+    rng: np.random.Generator
+    depth: MonocularDepthEstimator = None  # type: ignore[assignment]
+    bearing_sigma_deg: float = 1.2
+    elevation_sigma_deg: float = 1.0
+    detect_range_m: float = 120.0
+    base_detect_prob: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.depth is None:
+            self.depth = MonocularDepthEstimator(
+                rng=self.rng, max_range_m=self.detect_range_m
+            )
+
+    def detection_probability(self, true_range_m: float, camera_health: float = 1.0) -> float:
+        """Probability of detecting a target at the given range."""
+        if true_range_m > self.detect_range_m:
+            return 0.0
+        falloff = 1.0 - (true_range_m / self.detect_range_m) ** 2
+        return max(0.0, self.base_detect_prob * falloff * camera_health)
+
+    def observe(
+        self,
+        observer_id: str,
+        target_id: str,
+        observer_enu: tuple[float, float, float],
+        target_enu: tuple[float, float, float],
+        now: float,
+        camera_health: float = 1.0,
+    ) -> DroneDetection | None:
+        """Attempt one sighting; None on a miss."""
+        delta = tuple(t - o for t, o in zip(target_enu, observer_enu))
+        true_range = math.sqrt(sum(d * d for d in delta))
+        if true_range < 1e-6:
+            return None
+        p_detect = self.detection_probability(true_range, camera_health)
+        if float(self.rng.random()) > p_detect:
+            return None
+        bearing = math.degrees(math.atan2(delta[0], delta[1])) % 360.0
+        horizontal = math.hypot(delta[0], delta[1])
+        elevation = math.degrees(math.atan2(delta[2], max(horizontal, 1e-9)))
+        range_est, sigma = self.depth.estimate(true_range)
+        return DroneDetection(
+            observer_id=observer_id,
+            target_id=target_id,
+            stamp=now,
+            bearing_deg=bearing + float(self.rng.normal(0.0, self.bearing_sigma_deg)),
+            elevation_deg=elevation
+            + float(self.rng.normal(0.0, self.elevation_sigma_deg)),
+            range_m=range_est,
+            range_sigma_m=sigma,
+            confidence=p_detect,
+        )

@@ -1,0 +1,105 @@
+"""Guided safe landing of a GPS-denied UAV via collaborative localization.
+
+Implements the paper's Fig. 7 behaviour: "the spoofed UAV (shown in blue)
+and the assisting UAV (shown in red) ... collaborate to coordinate the
+safe landing, in a high precision location, of the UAV under attack ...
+the spoofed UAV is operating without any GPS signal."
+
+The controller feeds the fused CL position into the affected UAV's
+external-navigation input and issues guided setpoints that steer it over
+the landing point and descend it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.localization.collaborative import PositionEstimate
+from repro.localization.fusion import ConstantVelocityKalman
+from repro.uav.uav import FlightMode, Uav
+
+
+@dataclass(frozen=True)
+class LandingReport:
+    """Outcome of a collaborative guided landing."""
+
+    landed: bool
+    final_error_m: float  # ground distance from the designated landing point
+    duration_s: float
+    mean_cl_sigma_m: float
+    n_estimates: int
+
+
+@dataclass
+class GuidedLandingController:
+    """Drives an affected UAV to a landing point using CL estimates."""
+
+    uav: Uav
+    landing_point: tuple[float, float]  # ENU east/north
+    approach_altitude_m: float = 12.0
+    descent_rate_mps: float = 1.5
+    capture_radius_m: float = 1.5
+    tracker: ConstantVelocityKalman = field(default_factory=ConstantVelocityKalman)
+    started_at: float | None = None
+    sigma_samples: list[float] = field(default_factory=list)
+    _phase: str = "approach"
+
+    def engage(self, now: float) -> None:
+        """Switch the UAV to external navigation and take control."""
+        self.started_at = now
+        self.uav.use_external_nav = True
+        self.uav.command_mode(FlightMode.GUIDED)
+
+    def feed_estimate(self, estimate: PositionEstimate) -> None:
+        """Supply one fused CL position estimate for the affected UAV."""
+        self.tracker.update(estimate.enu, estimate.sigma_m, estimate.stamp)
+        self.sigma_samples.append(estimate.sigma_m)
+        self.uav.external_nav_position = self.tracker.position
+
+    def step(self, now: float) -> None:
+        """Issue the guided setpoint for the current landing phase."""
+        if self.started_at is None:
+            raise RuntimeError("engage() first")
+        if self.uav.mode is FlightMode.LANDED:
+            return
+        if not self.tracker.initialized:
+            # No estimate yet: hold position.
+            self.uav.command_mode(FlightMode.HOLD)
+            return
+        self.uav.command_mode(FlightMode.GUIDED)
+        believed = self.tracker.position
+        east, north = self.landing_point
+        ground_err = math.hypot(believed[0] - east, believed[1] - north)
+        if self._phase == "approach":
+            self.uav.command_guided_setpoint((east, north, self.approach_altitude_m))
+            if ground_err <= self.capture_radius_m:
+                self._phase = "descend"
+        if self._phase == "descend":
+            target_alt = max(0.0, believed[2] - self.descent_rate_mps)
+            self.uav.command_guided_setpoint((east, north, target_alt))
+
+    @property
+    def complete(self) -> bool:
+        """Whether the UAV has touched down."""
+        return self.uav.mode is FlightMode.LANDED
+
+    def report(self, now: float) -> LandingReport:
+        """Final landing accuracy against ground truth."""
+        true_pos = self.uav.dynamics.position
+        error = math.hypot(
+            true_pos[0] - self.landing_point[0], true_pos[1] - self.landing_point[1]
+        )
+        duration = now - (self.started_at if self.started_at is not None else now)
+        mean_sigma = (
+            sum(self.sigma_samples) / len(self.sigma_samples)
+            if self.sigma_samples
+            else float("nan")
+        )
+        return LandingReport(
+            landed=self.complete,
+            final_error_m=error,
+            duration_s=duration,
+            mean_cl_sigma_m=mean_sigma,
+            n_estimates=len(self.sigma_samples),
+        )

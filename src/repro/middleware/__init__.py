@@ -1,0 +1,32 @@
+"""ROS-like publish/subscribe middleware substrate.
+
+The paper's multi-UAV platform runs on ROS Noetic; its security experiments
+attack the ROS message channel (Sec. V-C, "ROS message spoofing attack").
+This subpackage provides an in-process topic bus with per-message provenance
+so that the intrusion-detection system and Security EDDI can observe and
+classify traffic, plus attack injectors that reproduce the spoofing,
+man-in-the-middle, and eavesdropping threat models the paper cites.
+"""
+
+from repro.middleware.rosbus import Message, RosBus, Subscription, TrafficLog
+from repro.middleware.auth import MessageSigner, SignedPayload, VerifyingSubscriber
+from repro.middleware.attacks import (
+    Attacker,
+    EavesdropAttack,
+    MitmAttack,
+    SpoofingAttack,
+)
+
+__all__ = [
+    "Message",
+    "RosBus",
+    "Subscription",
+    "TrafficLog",
+    "Attacker",
+    "EavesdropAttack",
+    "MitmAttack",
+    "SpoofingAttack",
+    "MessageSigner",
+    "SignedPayload",
+    "VerifyingSubscriber",
+]

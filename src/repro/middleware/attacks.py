@@ -1,0 +1,135 @@
+"""Attack injectors against the ROS-like bus.
+
+Reproduces the threat models the paper attributes to ROS deployments
+(Sec. I): data injection / message spoofing (the Fig. 6 experiment),
+man-in-the-middle tampering, and eavesdropping. Each attack is a stateful
+object stepped by the simulation between ``t_start`` and ``t_stop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.middleware.rosbus import Message, RosBus
+
+
+@dataclass
+class Attacker:
+    """Base class for scripted attacks on the bus.
+
+    Subclasses override :meth:`step`. ``active_at`` gates the attack window.
+    """
+
+    bus: RosBus
+    t_start: float
+    t_stop: float = float("inf")
+    name: str = "attacker"
+
+    def active_at(self, now: float) -> bool:
+        """Whether the attack window covers simulation time ``now``."""
+        return self.t_start <= now < self.t_stop
+
+    def step(self, now: float) -> None:
+        """Advance the attack by one simulation step (override)."""
+
+
+@dataclass
+class SpoofingAttack(Attacker):
+    """ROS message spoofing: inject falsified data under a victim's identity.
+
+    This is the attack of the paper's Fig. 6: "falsified data are sent to
+    manipulate the UAVs area mapping system". Each step inside the attack
+    window publishes a forged message on ``topic`` claiming to come from
+    ``spoofed_sender`` while the transport records the true ``name`` origin.
+
+    ``payload_fn(now)`` produces the falsified data — e.g. a displaced GPS
+    fix or a manipulated waypoint.
+    """
+
+    topic: str = "/uav/pose"
+    spoofed_sender: str = "uav"
+    payload_fn: Callable[[float], Any] = lambda now: None
+    rate_hz: float = 10.0
+    _next_emit: float = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._next_emit is None:
+            self._next_emit = self.t_start
+
+    def step(self, now: float) -> None:
+        """Inject forged messages at ``rate_hz`` while the window is active."""
+        if not self.active_at(now):
+            return
+        while now >= self._next_emit:
+            self.bus.publish(
+                topic=self.topic,
+                data=self.payload_fn(now),
+                sender=self.spoofed_sender,
+                origin=self.name,
+                stamp=now,
+            )
+            self._next_emit += 1.0 / self.rate_hz
+
+
+@dataclass
+class MitmAttack(Attacker):
+    """Man-in-the-middle: transparently rewrite messages on selected topics.
+
+    Installs a transport interceptor that applies ``mutate(message, data)``
+    to the payload of every matching message while the window is active.
+    """
+
+    topic: str = "/uav/pose"
+    mutate: Callable[[Message, Any], Any] = lambda message, data: data
+    _installed: bool = field(default=False, repr=False)
+
+    def step(self, now: float) -> None:
+        """Arm the interceptor once the attack window opens."""
+        if self._installed or now < self.t_start:
+            return
+        self._installed = True
+
+        def interceptor(message: Message) -> Message:
+            if message.topic != self.topic or not self.active_at(message.stamp):
+                return message
+            return Message(
+                topic=message.topic,
+                data=self.mutate(message, message.data),
+                sender=message.sender,
+                origin=self.name,
+                seq=message.seq,
+                stamp=message.stamp,
+            )
+
+        self.bus.add_interceptor(interceptor)
+
+
+@dataclass
+class EavesdropAttack(Attacker):
+    """Passive eavesdropping: silently record traffic on matching topics.
+
+    Leaves no transport trace (the realistic worst case for a passive
+    adversary); the captured messages accumulate in :attr:`captured`.
+    """
+
+    topic_pattern: str = "/*"
+    captured: list[Message] = field(default_factory=list)
+    _installed: bool = field(default=False, repr=False)
+
+    def step(self, now: float) -> None:
+        """Arm the passive tap once the attack window opens."""
+        if self._installed or now < self.t_start:
+            return
+        self._installed = True
+
+        def interceptor(message: Message) -> Message:
+            import fnmatch
+
+            if self.active_at(message.stamp) and fnmatch.fnmatch(
+                message.topic, self.topic_pattern
+            ):
+                self.captured.append(message)
+            return message
+
+        self.bus.add_interceptor(interceptor)

@@ -1,0 +1,165 @@
+"""In-process ROS-style topic bus with message provenance.
+
+ROS's publish/subscribe architecture "brings certain security
+vulnerabilities, such as the risk of eavesdropping, man-in-the-middle
+attacks, and data injection" (paper Sec. I). To reproduce those attack
+surfaces faithfully the bus performs **no authentication**: any node handle
+may publish to any topic. Every delivered message carries provenance
+metadata (claimed sender, true origin, sequence number, timestamp) that the
+intrusion-detection system inspects — mirroring how a network IDS sees
+packet headers that application code does not.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message delivered on the bus.
+
+    ``sender`` is the node name the publisher *claims*; ``origin`` is the
+    true producing node recorded by the transport. Under normal operation
+    the two match; a spoofing attacker forges ``sender`` while ``origin``
+    reveals the injection point (only visible to transport-level observers
+    such as the IDS, never to ordinary subscribers).
+    """
+
+    topic: str
+    data: Any
+    sender: str
+    origin: str
+    seq: int
+    stamp: float
+
+    @property
+    def is_forged(self) -> bool:
+        """True when the claimed sender differs from the true origin."""
+        return self.sender != self.origin
+
+
+@dataclass
+class Subscription:
+    """A live subscription; deactivate with :meth:`unsubscribe`."""
+
+    topic: str
+    node: str
+    callback: Callable[[Message], None]
+    active: bool = True
+
+    def unsubscribe(self) -> None:
+        """Stop delivering messages to this subscription."""
+        self.active = False
+
+
+class TrafficLog:
+    """Bounded chronological record of all bus traffic.
+
+    This is the vantage point of the network IDS: it sees transport-level
+    provenance (``origin``) that application subscribers do not.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self._capacity = capacity
+        self._messages: list[Message] = []
+
+    def record(self, message: Message) -> None:
+        """Append a message, evicting the oldest half when over capacity."""
+        self._messages.append(message)
+        if len(self._messages) > self._capacity:
+            del self._messages[: self._capacity // 2]
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._messages)
+
+    def on_topic(self, pattern: str) -> list[Message]:
+        """Messages whose topic matches a glob pattern (e.g. ``/uav*/pose``)."""
+        return [m for m in self._messages if fnmatch.fnmatch(m.topic, pattern)]
+
+    def since(self, stamp: float) -> list[Message]:
+        """Messages recorded at or after ``stamp``."""
+        return [m for m in self._messages if m.stamp >= stamp]
+
+
+class RosBus:
+    """Topic-based publish/subscribe bus shared by all agents in a simulation.
+
+    The bus is synchronous: ``publish`` invokes every active subscriber
+    callback before returning, in subscription order, matching the
+    single-threaded stepping of the simulation.
+    """
+
+    def __init__(self) -> None:
+        self._subs: dict[str, list[Subscription]] = defaultdict(list)
+        self._seq = itertools.count()
+        self._interceptors: list[Callable[[Message], Message | None]] = []
+        self.traffic = TrafficLog()
+        self.clock = 0.0
+
+    def advance_clock(self, now: float) -> None:
+        """Set the bus timestamp used for subsequently published messages."""
+        self.clock = now
+
+    def subscribe(
+        self, topic: str, node: str, callback: Callable[[Message], None]
+    ) -> Subscription:
+        """Register ``callback`` for messages on ``topic``; returns a handle."""
+        sub = Subscription(topic=topic, node=node, callback=callback)
+        self._subs[topic].append(sub)
+        return sub
+
+    def add_interceptor(self, fn: Callable[[Message], "Message | None"]) -> None:
+        """Install a transport-level interceptor (used by MITM attacks).
+
+        Interceptors run in installation order; each may return a replacement
+        message or ``None`` to drop the message entirely.
+        """
+        self._interceptors.append(fn)
+
+    def publish(
+        self,
+        topic: str,
+        data: Any,
+        sender: str,
+        origin: str | None = None,
+        stamp: float | None = None,
+    ) -> Message | None:
+        """Publish ``data`` on ``topic``.
+
+        ``origin`` defaults to ``sender`` (honest publication). Returns the
+        delivered message, or ``None`` if an interceptor dropped it.
+        """
+        message = Message(
+            topic=topic,
+            data=data,
+            sender=sender,
+            origin=origin if origin is not None else sender,
+            seq=next(self._seq),
+            stamp=stamp if stamp is not None else self.clock,
+        )
+        for interceptor in self._interceptors:
+            replaced = interceptor(message)
+            if replaced is None:
+                return None
+            message = replaced
+        self.traffic.record(message)
+        for sub in list(self._subs.get(topic, ())):
+            if sub.active:
+                sub.callback(message)
+        return message
+
+    def topics(self) -> list[str]:
+        """All topics with at least one subscription, sorted."""
+        return sorted(t for t, subs in self._subs.items() if any(s.active for s in subs))
+
+    def subscriber_nodes(self, topic: str) -> list[str]:
+        """Names of nodes actively subscribed to ``topic``."""
+        return [s.node for s in self._subs.get(topic, ()) if s.active]

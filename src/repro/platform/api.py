@@ -1,0 +1,127 @@
+"""Web-GUI JSON API: the data layer behind the monitoring panels.
+
+The paper's web GUI "for monitoring UAVs via any browser, showing
+operations, positions, and video feeds" (Sec. IV-A) is, architecturally,
+a thin renderer over structured platform state. This module provides that
+state as plain JSON-serialisable dictionaries — fleet status, mission
+panel, per-UAV tracks, alert feeds — so any frontend (or test) can
+consume it. It is the machine-readable sibling of
+:mod:`repro.platform.gui`'s fixed-width text panels.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.decider import MissionDecision
+from repro.platform.gcs import GroundControlStation
+from repro.platform.recorder import FlightRecorder
+from repro.platform.uav_manager import UavManager
+from repro.security.ids import IntrusionDetectionSystem
+
+
+@dataclass
+class WebApi:
+    """Aggregates platform components into GUI-consumable JSON payloads."""
+
+    uav_manager: UavManager
+    gcs: GroundControlStation | None = None
+    recorder: FlightRecorder | None = None
+    ids: IntrusionDetectionSystem | None = None
+
+    # ------------------------------------------------------------- fleet
+    def fleet_status(self) -> dict:
+        """The per-UAV status boxes (Fig. 4's blue panels)."""
+        return {
+            "uavs": [
+                {
+                    "id": record.uav_id,
+                    "type": record.uav_type,
+                    "mode": record.mode,
+                    "battery_percent": round(record.battery_percent, 1),
+                    "position": {
+                        "east": round(record.position_enu[0], 2),
+                        "north": round(record.position_enu[1], 2),
+                        "up": round(record.position_enu[2], 2),
+                    },
+                    "connected": record.connected,
+                    "last_seen": record.last_seen,
+                    "equipment": list(record.equipment),
+                }
+                for record in self.uav_manager.fleet_status()
+            ]
+        }
+
+    def mission_panel(self, decision: MissionDecision) -> dict:
+        """The SESAME output box (Fig. 4's red panel)."""
+        return {
+            "verdict": decision.verdict.value,
+            "uavs": {
+                uav_id: guarantee.value
+                for uav_id, guarantee in sorted(decision.uav_guarantees.items())
+            },
+            "dropped": sorted(decision.dropped_uavs),
+            "takeover_capacity": sorted(decision.takeover_uavs),
+        }
+
+    # -------------------------------------------------------------- feeds
+    def tracks(self, max_points: int = 500) -> dict:
+        """Downsampled flight tracks for the map view (the scan lines)."""
+        if self.recorder is None:
+            return {"tracks": {}}
+        out = {}
+        for uav_id, records in self.recorder.records.items():
+            stride = max(1, len(records) // max_points)
+            out[uav_id] = [
+                {"t": r.stamp, "east": round(r.east, 1), "north": round(r.north, 1),
+                 "up": round(r.up, 1)}
+                for r in records[::stride]
+            ]
+        return {"tracks": out}
+
+    def alert_feed(self, limit: int = 50) -> dict:
+        """Most recent IDS alerts for the security panel."""
+        if self.ids is None:
+            return {"alerts": []}
+        return {
+            "alerts": [
+                {
+                    "type": alert.alert_type,
+                    "topic": alert.topic,
+                    "suspect": alert.suspect,
+                    "detail": alert.detail,
+                    "stamp": alert.stamp,
+                }
+                for alert in self.ids.alerts[-limit:]
+            ]
+        }
+
+    def log_feed(self, limit: int = 50) -> dict:
+        """Most recent GCS log entries."""
+        if self.gcs is None:
+            return {"logs": []}
+        return {
+            "logs": [
+                {
+                    "stamp": entry.stamp,
+                    "source": entry.source,
+                    "level": entry.level,
+                    "message": entry.message,
+                }
+                for entry in self.gcs.logs[-limit:]
+            ]
+        }
+
+    # ---------------------------------------------------------- dashboard
+    def dashboard(self, decision: MissionDecision | None = None) -> str:
+        """One JSON document with every panel — the page payload."""
+        payload = {
+            "fleet": self.fleet_status(),
+            "tracks": self.tracks(),
+            "alerts": self.alert_feed(),
+            "logs": self.log_feed(),
+        }
+        if decision is not None:
+            payload["mission"] = self.mission_panel(decision)
+        return json.dumps(payload)

@@ -1,0 +1,87 @@
+"""Database manager with origin-checked API access.
+
+"Database manager provides an API for database access, allowing UAVs and
+software clients to make asynchronous data requests. It verifies that
+requests come from within the network to prevent external access. For
+instance, UAVs report their location data to the database manager, which
+processes and saves it." (Sec. IV-A)
+
+The store is an in-memory collection/record model with a request API that
+enforces network-origin checking, mirroring the paper's access control.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class AccessDenied(PermissionError):
+    """Raised when a request originates outside the trusted network."""
+
+
+@dataclass(frozen=True)
+class DbRequest:
+    """One API request: origin address plus operation payload."""
+
+    origin_ip: str
+    operation: str  # "put" | "get" | "query" | "delete"
+    collection: str
+    key: str | None = None
+    value: Any = None
+
+
+@dataclass
+class DatabaseManager:
+    """In-memory store fronted by the origin-checked request API."""
+
+    trusted_network: str = "10.0.0.0/24"
+    collections: dict[str, dict[str, Any]] = field(default_factory=dict)
+    audit_log: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def _check_origin(self, origin_ip: str) -> None:
+        network = ipaddress.ip_network(self.trusted_network)
+        try:
+            address = ipaddress.ip_address(origin_ip)
+        except ValueError as exc:
+            raise AccessDenied(f"malformed origin address {origin_ip!r}") from exc
+        if address not in network:
+            raise AccessDenied(
+                f"origin {origin_ip} outside trusted network {self.trusted_network}"
+            )
+
+    def handle(self, request: DbRequest) -> Any:
+        """Process one request; raises :class:`AccessDenied` for outsiders."""
+        self._check_origin(request.origin_ip)
+        self.audit_log.append((request.origin_ip, request.operation, request.collection))
+        collection = self.collections.setdefault(request.collection, {})
+        if request.operation == "put":
+            if request.key is None:
+                raise ValueError("put requires a key")
+            collection[request.key] = request.value
+            return True
+        if request.operation == "get":
+            if request.key is None:
+                raise ValueError("get requires a key")
+            return collection.get(request.key)
+        if request.operation == "query":
+            return dict(collection)
+        if request.operation == "delete":
+            if request.key is None:
+                raise ValueError("delete requires a key")
+            return collection.pop(request.key, None) is not None
+        raise ValueError(f"unknown operation {request.operation!r}")
+
+    # Convenience wrappers used by in-network platform services. ---------
+    def put(self, collection: str, key: str, value: Any, origin_ip: str = "10.0.0.2") -> None:
+        """Store a record from a trusted service."""
+        self.handle(DbRequest(origin_ip, "put", collection, key, value))
+
+    def get(self, collection: str, key: str, origin_ip: str = "10.0.0.2") -> Any:
+        """Fetch a record from a trusted service."""
+        return self.handle(DbRequest(origin_ip, "get", collection, key))
+
+    def query(self, collection: str, origin_ip: str = "10.0.0.2") -> dict[str, Any]:
+        """Snapshot a whole collection."""
+        return self.handle(DbRequest(origin_ip, "query", collection))

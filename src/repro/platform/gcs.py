@@ -1,0 +1,77 @@
+"""UAV Ground Control Station.
+
+"UAV Ground Control Stations automates the logging, management, and
+monitoring of UAV operations to support mission goals such as maximizing
+area coverage, improving communication, reducing evacuation time,
+enhancing safety, and minimizing operator workload." (Sec. IV-A)
+
+Aggregates telemetry into mission logs, tracks fleet health flags, and
+hosts the EDDI deciders on the ground side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decider import MissionDecider, MissionDecision
+from repro.middleware.rosbus import Message, RosBus
+from repro.platform.uav_manager import UavManager
+from repro.uav.uav import Telemetry
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One structured GCS log record."""
+
+    stamp: float
+    source: str
+    level: str  # "info" | "warning" | "critical"
+    message: str
+
+
+@dataclass
+class GroundControlStation:
+    """Mission-side aggregation, logging, and decision hosting."""
+
+    bus: RosBus
+    uav_manager: UavManager
+    decider: MissionDecider = field(default_factory=MissionDecider)
+    logs: list[LogEntry] = field(default_factory=list)
+    low_battery_warned: set[str] = field(default_factory=set)
+    low_battery_threshold: float = 0.25
+
+    def watch_uav(self, uav_id: str) -> None:
+        """Subscribe to a UAV's telemetry for logging and health flags."""
+        self.bus.subscribe(f"/{uav_id}/telemetry", node="gcs", callback=self._on_telemetry)
+
+    def _on_telemetry(self, message: Message) -> None:
+        sample = message.data
+        if not isinstance(sample, Telemetry):
+            return
+        if (
+            sample.battery_soc < self.low_battery_threshold
+            and sample.uav_id not in self.low_battery_warned
+        ):
+            self.low_battery_warned.add(sample.uav_id)
+            self.log(
+                sample.stamp,
+                sample.uav_id,
+                "warning",
+                f"battery low: {100 * sample.battery_soc:.0f}%",
+            )
+
+    def log(self, stamp: float, source: str, level: str, message: str) -> LogEntry:
+        """Append a structured log entry."""
+        if level not in ("info", "warning", "critical"):
+            raise ValueError(f"unknown log level {level!r}")
+        entry = LogEntry(stamp=stamp, source=source, level=level, message=message)
+        self.logs.append(entry)
+        return entry
+
+    def logs_at_level(self, level: str) -> list[LogEntry]:
+        """All log entries at one severity level."""
+        return [e for e in self.logs if e.level == level]
+
+    def mission_decision(self) -> MissionDecision:
+        """Run the mission-level decider over all registered UAV networks."""
+        return self.decider.decide()

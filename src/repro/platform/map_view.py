@@ -1,0 +1,92 @@
+"""ASCII map renderer — the Fig. 4 operations view.
+
+The paper's Fig. 4 shows "the multi-UAV platform [coordinating] these
+three UAVs as they run the SAR algorithm, scanning the designated area
+(represented by the red, light red, and green lines) and searching for
+people, indicated by red dots". This renderer reproduces that panel as
+text: per-UAV scan tracks (distinct glyphs), current UAV positions,
+persons (found/unfound), and the area frame — the character-cell
+equivalent of the web GUI's map widget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uav.world import World
+
+TRACK_GLYPHS = ["1", "2", "3", "4", "5", "6"]
+UAV_GLYPH = "@"
+PERSON_UNFOUND = "x"
+PERSON_FOUND = "O"
+
+
+@dataclass
+class MapView:
+    """Renders a world snapshot to a character grid."""
+
+    width: int = 72
+    height: int = 24
+
+    def _to_cell(
+        self, east: float, north: float, area: tuple[float, float]
+    ) -> tuple[int, int] | None:
+        east_max, north_max = area
+        if not (0.0 <= east <= east_max and 0.0 <= north <= north_max):
+            return None
+        col = min(self.width - 1, int(east / east_max * self.width))
+        # North up: row 0 is the top of the map.
+        row = min(self.height - 1, int((1.0 - north / north_max) * self.height))
+        return row, col
+
+    def render(self, world: World, tracks: dict[str, list] | None = None) -> str:
+        """Render the current world; optional recorded tracks underlay.
+
+        ``tracks`` maps uav_id to a list of (east, north, up) samples
+        (e.g. from the flight recorder); without it, each UAV's own
+        ``trajectory`` is used.
+        """
+        grid = [[" "] * self.width for _ in range(self.height)]
+        area = world.area_size_m
+
+        # Scan tracks, one glyph per UAV.
+        uav_ids = sorted(world.uavs)
+        for i, uav_id in enumerate(uav_ids):
+            glyph = TRACK_GLYPHS[i % len(TRACK_GLYPHS)]
+            if tracks is not None:
+                points = [(p[0], p[1]) for p in tracks.get(uav_id, ())]
+            else:
+                points = [(p[0], p[1]) for p in world.uavs[uav_id].trajectory]
+            for east, north in points:
+                cell = self._to_cell(east, north, area)
+                if cell is not None:
+                    grid[cell[0]][cell[1]] = glyph
+
+        # Persons over the tracks.
+        for person in world.persons:
+            cell = self._to_cell(person.position[0], person.position[1], area)
+            if cell is not None:
+                grid[cell[0]][cell[1]] = (
+                    PERSON_FOUND if person.detected else PERSON_UNFOUND
+                )
+
+        # Current UAV positions on top.
+        for uav_id in uav_ids:
+            east, north, _ = world.uavs[uav_id].dynamics.position
+            cell = self._to_cell(east, north, area)
+            if cell is not None:
+                grid[cell[0]][cell[1]] = UAV_GLYPH
+
+        border = "+" + "-" * self.width + "+"
+        lines = [border]
+        lines.extend("|" + "".join(row) + "|" for row in grid)
+        lines.append(border)
+        legend = (
+            f"@ UAV   {PERSON_FOUND} person found   {PERSON_UNFOUND} person missing   "
+            + "  ".join(
+                f"{TRACK_GLYPHS[i % len(TRACK_GLYPHS)]} {uav_id} track"
+                for i, uav_id in enumerate(uav_ids)
+            )
+        )
+        lines.append(legend)
+        return "\n".join(lines)

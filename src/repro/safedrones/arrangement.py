@@ -1,0 +1,154 @@
+"""Motor-arrangement-aware controllability analysis.
+
+The Markov propulsion chain in :mod:`repro.safedrones.propulsion` counts
+failed motors; the underlying DoCEIS-2019 model is finer: *which* motors
+fail matters. A hexarotor (PNPNPN) survives losing one motor, and
+survives losing two only when the pair leaves balanced torque — e.g.
+opposite motors with matching spin budgets — while an adjacent same-spin
+pair is fatal.
+
+This module models the airframe geometry explicitly: motors sit on a
+regular polygon with alternating spin, and a failure combination is
+controllable iff the remaining motors can still produce (a) enough total
+thrust, (b) zero net yaw torque, and (c) a centre of thrust at the hub
+(roll/pitch balance). From the exact combination table it derives the
+effective per-count survival probabilities that calibrate the Markov
+chain's reconfiguration success.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Motor:
+    """One rotor: hub-frame position and spin direction."""
+
+    index: int
+    x: float
+    y: float
+    spin: int  # +1 CW, -1 CCW
+
+
+def regular_airframe(rotor_count: int, radius_m: float = 0.5) -> list[Motor]:
+    """Motors on a regular polygon with alternating spin (PNPN...)."""
+    if rotor_count < 3 or rotor_count % 2 != 0:
+        raise ValueError("rotor_count must be even and >= 4")
+    motors = []
+    for i in range(rotor_count):
+        theta = 2.0 * math.pi * i / rotor_count
+        motors.append(
+            Motor(
+                index=i,
+                x=radius_m * math.cos(theta),
+                y=radius_m * math.sin(theta),
+                spin=1 if i % 2 == 0 else -1,
+            )
+        )
+    return motors
+
+
+def is_controllable(
+    motors: list[Motor],
+    failed: frozenset[int],
+    thrust_margin: float = 0.6,
+) -> bool:
+    """Whether the airframe hovers with ``failed`` motors out.
+
+    Solves for non-negative per-motor thrusts t_i satisfying:
+    sum t_i >= thrust_margin * n (enough lift at <=1.0 per motor),
+    sum t_i * x_i = 0, sum t_i * y_i = 0 (roll/pitch balance),
+    sum t_i * spin_i = 0 (yaw balance). Feasibility is checked with a
+    small linear program solved by scipy.
+    """
+    from scipy.optimize import linprog
+
+    alive = [m for m in motors if m.index not in failed]
+    if len(alive) < 3:
+        return False
+    n = len(motors)
+    k = len(alive)
+    # Equality constraints: roll, pitch, yaw balance.
+    a_eq = np.array(
+        [
+            [m.x for m in alive],
+            [m.y for m in alive],
+            [float(m.spin) for m in alive],
+        ]
+    )
+    b_eq = np.zeros(3)
+    # Inequality: total thrust >= margin (negate for <=).
+    a_ub = np.array([[-1.0] * k])
+    b_ub = np.array([-thrust_margin * n])
+    result = linprog(
+        c=np.zeros(k),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0.0, 1.0)] * k,
+        method="highs",
+    )
+    return bool(result.success)
+
+
+@dataclass
+class ArrangementAnalysis:
+    """Exhaustive controllability analysis of one airframe."""
+
+    rotor_count: int
+    radius_m: float = 0.5
+    thrust_margin: float = 0.6
+    motors: list[Motor] = field(init=False)
+    survival_by_count: dict[int, float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.motors = regular_airframe(self.rotor_count, self.radius_m)
+        self.survival_by_count = {}
+        for n_failed in range(0, self.rotor_count + 1):
+            combos = list(
+                itertools.combinations(range(self.rotor_count), n_failed)
+            )
+            survivable = sum(
+                1
+                for combo in combos
+                if is_controllable(
+                    self.motors, frozenset(combo), self.thrust_margin
+                )
+            )
+            self.survival_by_count[n_failed] = survivable / len(combos)
+
+    def max_tolerable_failures(self) -> int:
+        """Largest count for which *some* combination is survivable."""
+        return max(
+            (n for n, p in self.survival_by_count.items() if p > 0.0),
+            default=0,
+        )
+
+    def guaranteed_tolerable_failures(self) -> int:
+        """Largest count for which *every* combination is survivable."""
+        out = 0
+        for n in range(self.rotor_count + 1):
+            if self.survival_by_count.get(n, 0.0) == 1.0:
+                out = n
+            else:
+                break
+        return out
+
+    def effective_reconfig_success(self, after_failures: int = 0) -> float:
+        """Probability a random next failure remains survivable.
+
+        Conditional survival: P(survivable at k+1) / P(survivable at k),
+        the arrangement-derived calibration for the Markov chain's
+        ``reconfig_success`` at that stage.
+        """
+        current = self.survival_by_count.get(after_failures, 0.0)
+        nxt = self.survival_by_count.get(after_failures + 1, 0.0)
+        if current == 0.0:
+            return 0.0
+        return min(1.0, nxt / current)

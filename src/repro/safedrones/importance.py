@@ -1,0 +1,96 @@
+"""Importance measures for fault-tree basic events.
+
+Design-time companions to the runtime SafeDrones monitor: given a fault
+tree, rank the basic events by how much they matter to the top event —
+the analysis an engineer runs to decide where redundancy or monitoring
+effort buys the most mission reliability.
+
+Implemented measures (standard definitions):
+
+* **Birnbaum** — ``I_B(e) = P(top | e fails) - P(top | e works)``: the
+  sensitivity of the top event to the event's state.
+* **Criticality** — Birnbaum scaled by the event's own probability over
+  the top probability: the chance that the event is the cause.
+* **Fussell–Vesely** — the fraction of top-event probability flowing
+  through cut sets containing the event (approximated via conditional
+  evaluation, exact for coherent trees evaluated with independence).
+* **Risk Achievement Worth (RAW)** and **Risk Reduction Worth (RRW)** —
+  the classic what-if ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.safedrones.fta import BasicEvent, ComplexBasicEvent, FaultTree
+
+
+@dataclass(frozen=True)
+class ImportanceReport:
+    """All importance measures for one basic event."""
+
+    event: str
+    probability: float
+    birnbaum: float
+    criticality: float
+    fussell_vesely: float
+    raw: float
+    rrw: float
+
+
+def _with_probability(event, value: float, fn):
+    """Evaluate ``fn()`` with the event's probability pinned to ``value``."""
+    if isinstance(event, BasicEvent):
+        original = event.probability
+        event.probability = value
+        try:
+            return fn()
+        finally:
+            event.probability = original
+    if isinstance(event, ComplexBasicEvent):
+        original_model = event.model
+
+        class _Pinned:
+            failure_probability = value
+
+        event.model = _Pinned()
+        try:
+            return fn()
+        finally:
+            event.model = original_model
+    raise TypeError(f"not a basic event: {event!r}")
+
+
+def importance_analysis(tree: FaultTree) -> list[ImportanceReport]:
+    """Compute all measures for every basic event, sorted by Birnbaum."""
+    top = tree.top_event_probability()
+    reports = []
+    for event in tree.leaves():
+        p_event = event.evaluate()
+        p_fail = _with_probability(event, 1.0, tree.top_event_probability)
+        p_work = _with_probability(event, 0.0, tree.top_event_probability)
+        birnbaum = p_fail - p_work
+        criticality = birnbaum * p_event / top if top > 0.0 else 0.0
+        fussell_vesely = (top - p_work) / top if top > 0.0 else 0.0
+        raw = p_fail / top if top > 0.0 else float("inf")
+        rrw = top / p_work if p_work > 0.0 else float("inf")
+        reports.append(
+            ImportanceReport(
+                event=event.name,
+                probability=p_event,
+                birnbaum=birnbaum,
+                criticality=criticality,
+                fussell_vesely=fussell_vesely,
+                raw=raw,
+                rrw=rrw,
+            )
+        )
+    return sorted(reports, key=lambda r: r.birnbaum, reverse=True)
+
+
+def most_critical_event(tree: FaultTree) -> str:
+    """Name of the basic event with the highest Birnbaum importance."""
+    reports = importance_analysis(tree)
+    if not reports:
+        raise ValueError("tree has no basic events")
+    return reports[0].event

@@ -1,0 +1,52 @@
+"""SafeML: statistical-distance safety monitoring of ML components.
+
+SafeML (paper Sec. III-A2) "detect[s] when the data encountered at runtime
+is not similar to the data used for training ... by evaluating the
+statistical distance of the (subset of) data distribution", over "a
+sliding window of images captured by UAV cameras against a reference set".
+
+This subpackage implements the full measure family from the SafeML line of
+work (Aslansefat et al., IMBSA 2020) — Kolmogorov–Smirnov, Kuiper,
+Anderson–Darling, Cramér–von Mises, Wasserstein, and the combined DTS
+measure — together with permutation p-values and the sliding-window
+runtime monitor that maps dissimilarity to a confidence level consumed by
+the ConSert layer.
+"""
+
+from repro.safeml.ecdf import Ecdf
+from repro.safeml.distances import (
+    anderson_darling_distance,
+    cramer_von_mises_distance,
+    dts_distance,
+    kolmogorov_smirnov_distance,
+    kuiper_distance,
+    wasserstein_distance,
+    ALL_MEASURES,
+)
+from repro.safeml.monitor import ConfidenceLevel, SafeMlMonitor, SafeMlReport
+from repro.safeml.pvalue import permutation_pvalue
+from repro.safeml.joint import JointShiftMonitor
+from repro.safeml.multivariate import (
+    energy_distance,
+    mmd_rbf,
+    multivariate_shift_pvalue,
+)
+
+__all__ = [
+    "Ecdf",
+    "anderson_darling_distance",
+    "cramer_von_mises_distance",
+    "dts_distance",
+    "kolmogorov_smirnov_distance",
+    "kuiper_distance",
+    "wasserstein_distance",
+    "ALL_MEASURES",
+    "ConfidenceLevel",
+    "SafeMlMonitor",
+    "SafeMlReport",
+    "permutation_pvalue",
+    "energy_distance",
+    "mmd_rbf",
+    "multivariate_shift_pvalue",
+    "JointShiftMonitor",
+]

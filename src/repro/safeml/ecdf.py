@@ -1,0 +1,64 @@
+"""Empirical cumulative distribution functions.
+
+All SafeML distance measures are functionals of the two samples' ECDFs
+evaluated on the pooled support; this module provides that shared
+machinery once, vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """The ECDF of a one-dimensional sample.
+
+    ``sorted_values`` is the sorted sample; evaluation uses right-continuous
+    step semantics, F(x) = (# values <= x) / n.
+    """
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def from_sample(cls, sample: np.ndarray) -> "Ecdf":
+        """Build an ECDF from an unsorted 1-D sample."""
+        arr = np.asarray(sample, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        if not np.isfinite(arr).all():
+            raise ValueError("sample contains non-finite values")
+        return cls(sorted_values=np.sort(arr))
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return int(self.sorted_values.size)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """F(x) for an array of query points."""
+        x = np.asarray(x, dtype=float)
+        return np.searchsorted(self.sorted_values, x, side="right") / self.n
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.evaluate(x)
+
+
+def pooled_support(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted union of two samples — the evaluation grid for distances."""
+    return np.sort(np.concatenate([np.asarray(a, float).ravel(), np.asarray(b, float).ravel()]))
+
+
+def ecdf_pair(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Both ECDFs evaluated on the pooled support.
+
+    Returns ``(grid, F_a(grid), F_b(grid))``.
+    """
+    grid = pooled_support(a, b)
+    fa = Ecdf.from_sample(a).evaluate(grid)
+    fb = Ecdf.from_sample(b).evaluate(grid)
+    return grid, fa, fb

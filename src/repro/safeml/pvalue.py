@@ -1,0 +1,43 @@
+"""Permutation p-values for two-sample distance statistics.
+
+SafeML's decision rule asks not just "how far apart are the samples" but
+"is this distance surprising under the null of identical distributions".
+A permutation test answers that for any of the distance measures without
+distributional assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def permutation_pvalue(
+    a: np.ndarray,
+    b: np.ndarray,
+    statistic: Callable[[np.ndarray, np.ndarray], float],
+    n_permutations: int = 200,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Permutation test of ``statistic`` for samples ``a`` vs ``b``.
+
+    Returns ``(observed_statistic, p_value)`` where the p-value is the
+    add-one-smoothed fraction of label permutations whose statistic is at
+    least the observed one.
+    """
+    if n_permutations < 1:
+        raise ValueError("n_permutations must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    observed = statistic(a, b)
+    pooled = np.concatenate([a, b])
+    n_a = a.size
+    exceed = 0
+    for _ in range(n_permutations):
+        perm = rng.permutation(pooled)
+        if statistic(perm[:n_a], perm[n_a:]) >= observed:
+            exceed += 1
+    p_value = (exceed + 1) / (n_permutations + 1)
+    return observed, p_value

@@ -1,0 +1,179 @@
+"""SAR mission orchestration and metrics.
+
+Wires the coverage planner, the detection model, and the UAV fleet into a
+steppable mission: each UAV scans its strip, detection attempts fire when
+ground-truth persons enter the camera swath, and metrics (coverage,
+detection accuracy, completion time, per-UAV productive time) accumulate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sar.coverage import boustrophedon_path, partition_area, swath_width_m
+from repro.sar.detection import DetectionModel, DetectionOutcome
+from repro.uav.uav import FlightMode, Uav
+from repro.uav.world import World
+
+
+@dataclass
+class MissionMetrics:
+    """Accumulated mission statistics."""
+
+    persons_total: int = 0
+    persons_found: int = 0
+    attempts: list[DetectionOutcome] = field(default_factory=list)
+    cells_total: int = 0
+    cells_visited: set[tuple[int, int]] = field(default_factory=set)
+    started_at: float = 0.0
+    completed_at: float | None = None
+    productive_time_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def detection_accuracy(self) -> float:
+        """Fraction of in-swath detection attempts that succeeded."""
+        if not self.attempts:
+            return float("nan")
+        return sum(1 for a in self.attempts if a.detected) / len(self.attempts)
+
+    @property
+    def find_rate(self) -> float:
+        """Fraction of ground-truth persons found."""
+        if self.persons_total == 0:
+            return float("nan")
+        return self.persons_found / self.persons_total
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of area grid cells overflown inside the swath."""
+        if self.cells_total == 0:
+            return 0.0
+        return len(self.cells_visited) / self.cells_total
+
+    @property
+    def duration_s(self) -> float | None:
+        """Mission wall time, if completed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class SarMission:
+    """A multi-UAV coverage-search mission over a rectangular area."""
+
+    world: World
+    altitude_m: float = 20.0
+    cell_size_m: float = 10.0
+    detector: DetectionModel = None  # type: ignore[assignment]
+    metrics: MissionMetrics = field(default_factory=MissionMetrics)
+    rescan_queue: list[tuple[float, float]] = field(default_factory=list)
+    _detect_cooldown: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.detector is None:
+            self.detector = DetectionModel(rng=self.world.rng)
+        east, north = self.world.area_size_m
+        self.metrics.cells_total = math.ceil(east / self.cell_size_m) * math.ceil(
+            north / self.cell_size_m
+        )
+        self.metrics.persons_total = len(self.world.persons)
+
+    # ----------------------------------------------------------------- plan
+    def assign_paths(self, altitude_m: float | None = None) -> dict[str, list]:
+        """Partition the area and start every UAV on its strip."""
+        if altitude_m is not None:
+            self.altitude_m = altitude_m
+        uav_ids = sorted(self.world.uavs)
+        strips = partition_area(self.world.area_size_m, len(uav_ids))
+        plans: dict[str, list] = {}
+        for uav_id, bounds in zip(uav_ids, strips):
+            path = boustrophedon_path(bounds, self.altitude_m)
+            self.world.uavs[uav_id].start_mission(path)
+            plans[uav_id] = path
+        self.metrics.started_at = self.world.time
+        self.metrics.persons_total = len(self.world.persons)
+        return plans
+
+    def set_fleet_altitude(self, altitude_m: float) -> None:
+        """Command every mission UAV to re-fly remaining track at a new altitude.
+
+        Remaining waypoints keep their ground track; only the altitude
+        changes — the paper's 'descend to increase SAR accuracy' response.
+        """
+        self.altitude_m = altitude_m
+        for uav in self.world.uavs.values():
+            if uav.mode is FlightMode.MISSION:
+                remaining = uav.plan.waypoints[uav.plan.index :]
+                uav.plan.replace([(e, n, altitude_m) for e, n, _ in remaining])
+
+    # ----------------------------------------------------------------- step
+    def step(self) -> None:
+        """Advance the world one tick and run scanning for every UAV."""
+        self.world.step()
+        now = self.world.time
+        for uav in self.world.uavs.values():
+            if uav.mode is not FlightMode.MISSION:
+                continue
+            self.metrics.productive_time_s[uav.spec.uav_id] = (
+                self.metrics.productive_time_s.get(uav.spec.uav_id, 0.0)
+                + self.world.dt
+            )
+            self._scan(uav, now)
+        if self.mission_complete and self.metrics.completed_at is None:
+            self.metrics.completed_at = now
+
+    def _scan(self, uav: Uav, now: float) -> None:
+        east, north, alt = uav.dynamics.position
+        if alt < 1.0:
+            return
+        swath = swath_width_m(max(alt, 1.0)) / 2.0
+        # Every cell whose centre lies inside the camera swath counts as
+        # covered, bounded to the search area.
+        east_max, north_max = self.world.area_size_m
+        reach = int(swath // self.cell_size_m) + 1
+        center_col = int(east // self.cell_size_m)
+        center_row = int(north // self.cell_size_m)
+        for col in range(center_col - reach, center_col + reach + 1):
+            for row in range(center_row - reach, center_row + reach + 1):
+                cell_east = (col + 0.5) * self.cell_size_m
+                cell_north = (row + 0.5) * self.cell_size_m
+                if not (0.0 <= cell_east <= east_max and 0.0 <= cell_north <= north_max):
+                    continue
+                if math.hypot(cell_east - east, cell_north - north) <= swath:
+                    self.metrics.cells_visited.add((col, row))
+        for person in self.world.persons:
+            dx = person.position[0] - east
+            dy = person.position[1] - north
+            if math.hypot(dx, dy) > swath:
+                continue
+            key = (uav.spec.uav_id, person.person_id)
+            if now - self._detect_cooldown.get(key, -1e9) < 2.0:
+                continue
+            self._detect_cooldown[key] = now
+            outcome = self.detector.attempt(person.person_id, alt, now)
+            self.metrics.attempts.append(outcome)
+            if outcome.detected and not person.detected:
+                person.detected = True
+                person.detected_by = uav.spec.uav_id
+                person.detected_at = now
+                self.metrics.persons_found += 1
+            elif not outcome.detected:
+                # Missed while in swath: candidate for SINADRA re-scan.
+                self.rescan_queue.append(person.position)
+
+    @property
+    def mission_complete(self) -> bool:
+        """All UAVs finished their plans (no longer in MISSION mode)."""
+        return all(
+            uav.mode is not FlightMode.MISSION for uav in self.world.uavs.values()
+        )
+
+    def run(self, max_time_s: float = 3600.0) -> MissionMetrics:
+        """Step until the mission completes or the time budget expires."""
+        while not self.mission_complete and self.world.time < max_time_s:
+            self.step()
+        return self.metrics

@@ -1,0 +1,121 @@
+"""Task redistribution among remaining capable UAVs.
+
+Implements the mission-level response of the paper's Fig. 1: when the
+decider rules "task redistribution needed & redistribute task among
+remaining capable UAVs", the dropped UAV's unfinished coverage must be
+handed to peers with spare capacity. The planner splits the remaining
+waypoint chain into contiguous segments, assigns each segment to the
+takeover UAV that can reach it cheapest (greedy marginal-cost insertion),
+and appends the segment to that UAV's plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.uav.uav import FlightMode, Uav
+
+
+@dataclass(frozen=True)
+class RedistributionAssignment:
+    """One takeover: which UAV absorbs which waypoint segment."""
+
+    from_uav: str
+    to_uav: str
+    waypoints: list[tuple[float, float, float]]
+    added_path_length_m: float
+
+
+@dataclass
+class TaskRedistributor:
+    """Splits and reassigns a dropped UAV's remaining coverage.
+
+    ``max_segments`` bounds fragmentation: the remaining chain is cut into
+    at most this many contiguous segments (never more than the number of
+    takeover UAVs).
+    """
+
+    max_segments: int = 2
+
+    @staticmethod
+    def remaining_waypoints(uav: Uav) -> list[tuple[float, float, float]]:
+        """The dropped UAV's unfinished portion of its plan."""
+        return list(uav.plan.waypoints[uav.plan.index :])
+
+    @staticmethod
+    def _chain_length(
+        start: tuple[float, float, float], chain: list[tuple[float, float, float]]
+    ) -> float:
+        length = 0.0
+        prev = start
+        for waypoint in chain:
+            length += math.dist(prev, waypoint)
+            prev = waypoint
+        return length
+
+    def _segments(
+        self, waypoints: list[tuple[float, float, float]], n: int
+    ) -> list[list[tuple[float, float, float]]]:
+        """Cut the chain into up to ``n`` contiguous, non-empty segments."""
+        n = max(1, min(n, self.max_segments, len(waypoints)))
+        size = math.ceil(len(waypoints) / n)
+        return [waypoints[i : i + size] for i in range(0, len(waypoints), size)]
+
+    def plan(
+        self, dropped: Uav, takeover: list[Uav]
+    ) -> list[RedistributionAssignment]:
+        """Compute assignments without mutating any UAV."""
+        if not takeover:
+            raise ValueError("no takeover UAVs available")
+        remaining = self.remaining_waypoints(dropped)
+        if not remaining:
+            return []
+        assignments = []
+        loads = {uav.spec.uav_id: 0.0 for uav in takeover}
+        for segment in self._segments(remaining, len(takeover)):
+            best_uav = None
+            best_cost = math.inf
+            for uav in takeover:
+                # Cost: fly from the end of the UAV's current plan (or its
+                # position) to the segment, then cover it — plus the load
+                # already assigned this round, to balance the fleet.
+                if uav.plan.waypoints and not uav.plan.complete:
+                    anchor = uav.plan.waypoints[-1]
+                else:
+                    anchor = uav.dynamics.position
+                cost = (
+                    self._chain_length(anchor, segment)
+                    + loads[uav.spec.uav_id]
+                )
+                if cost < best_cost:
+                    best_cost = cost
+                    best_uav = uav
+            loads[best_uav.spec.uav_id] += best_cost
+            assignments.append(
+                RedistributionAssignment(
+                    from_uav=dropped.spec.uav_id,
+                    to_uav=best_uav.spec.uav_id,
+                    waypoints=segment,
+                    added_path_length_m=best_cost,
+                )
+            )
+        return assignments
+
+    def execute(
+        self, dropped: Uav, takeover: list[Uav]
+    ) -> list[RedistributionAssignment]:
+        """Plan and apply: append segments to the takeover UAVs' plans.
+
+        Takeover UAVs that had already finished (or were idle) are put
+        back into MISSION mode with the new segment as their plan.
+        """
+        assignments = self.plan(dropped, takeover)
+        by_id = {uav.spec.uav_id: uav for uav in takeover}
+        for assignment in assignments:
+            uav = by_id[assignment.to_uav]
+            if uav.mode is FlightMode.MISSION and not uav.plan.complete:
+                uav.plan.waypoints.extend(assignment.waypoints)
+            else:
+                uav.start_mission(list(assignment.waypoints))
+        return assignments

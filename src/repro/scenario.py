@@ -1,0 +1,213 @@
+"""Declarative scenario configuration.
+
+A downstream user should be able to describe a whole experiment — fleet,
+environment, persons, faults, attacks — as one JSON-serialisable dict and
+get a ready world back, instead of writing builder code. This module is
+that loader; it is also how regression scenarios are archived next to the
+results they produced.
+
+Schema (all sections optional except ``uavs``)::
+
+    {
+      "seed": 7,
+      "area_size_m": [400, 300],
+      "dt": 0.5,
+      "environment": {"wind_mean_mps": 5, "wind_direction_deg": 270,
+                       "ambient_c": 30, "visibility": "good"},
+      "persons": 8,
+      "uavs": [
+        {"id": "uav1", "base": [30, -20, 0], "rotors": 4,
+         "max_speed_mps": 10},
+        ...
+      ],
+      "faults": [
+        {"type": "battery_collapse", "uav": "uav1", "at": 250,
+         "soc_drop_to": 0.4},
+        {"type": "gps_denial", "uav": "uav2", "at": 60, "duration": 30},
+        {"type": "gps_spoof", "uav": "uav3", "at": 100,
+         "offset": [40, 0, 0]},
+        {"type": "camera_degradation", "uav": "uav1", "at": 10,
+         "rate": 0.02},
+        {"type": "imu_failure", "uav": "uav2", "at": 80},
+        {"type": "motor_failure", "uav": "uav1", "at": 120}
+      ],
+      "attacks": [
+        {"type": "ros_spoofing", "topic": "/uav1/pose", "sender": "uav1",
+         "start": 60, "stop": 180, "rate_hz": 5}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.geo import EnuFrame, GeoPoint
+from repro.middleware.attacks import SpoofingAttack
+from repro.uav.battery import BatterySpec
+from repro.uav.environment import Environment, GustProcess
+from repro.uav.faults import (
+    FaultSchedule,
+    battery_collapse,
+    camera_degradation,
+    gps_denial,
+    gps_spoof,
+    imu_failure,
+    motor_failure,
+)
+from repro.uav.uav import Uav, UavSpec
+from repro.uav.world import World
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario configurations."""
+
+
+@dataclass
+class Scenario:
+    """A loaded scenario: the world plus its fault schedule."""
+
+    world: World
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    config: dict[str, Any] = field(default_factory=dict)
+
+    def step(self) -> float:
+        """Advance the world and the fault campaign together."""
+        now = self.world.step()
+        self.faults.step(now, self.world.uavs)
+        return now
+
+    def run_until(self, t_end: float, callback=None) -> None:
+        """Step to ``t_end`` with the fault campaign active."""
+        while self.world.time < t_end:
+            self.step()
+            if callback is not None:
+                callback(self)
+
+
+def _build_fault(spec: dict[str, Any]):
+    kind = spec.get("type")
+    uav = spec.get("uav")
+    at = spec.get("at")
+    if kind is None or uav is None or at is None:
+        raise ScenarioError(f"fault needs type/uav/at: {spec!r}")
+    if kind == "battery_collapse":
+        return battery_collapse(uav, float(at), spec.get("soc_drop_to", 0.4))
+    if kind == "gps_denial":
+        duration = spec.get("duration")
+        return gps_denial(uav, float(at), float(duration) if duration else None)
+    if kind == "gps_spoof":
+        offset = spec.get("offset")
+        if not isinstance(offset, (list, tuple)) or len(offset) != 3:
+            raise ScenarioError(f"gps_spoof needs a 3-element offset: {spec!r}")
+        return gps_spoof(uav, float(at), tuple(float(v) for v in offset))
+    if kind == "camera_degradation":
+        return camera_degradation(uav, float(at), spec.get("rate", 0.02))
+    if kind == "imu_failure":
+        return imu_failure(uav, float(at))
+    if kind == "motor_failure":
+        return motor_failure(uav, float(at))
+    raise ScenarioError(f"unknown fault type {kind!r}")
+
+
+def load_scenario(config: dict[str, Any]) -> Scenario:
+    """Build a runnable scenario from a configuration dict."""
+    uav_specs = config.get("uavs")
+    if not uav_specs:
+        raise ScenarioError("scenario needs a non-empty 'uavs' list")
+
+    seed = int(config.get("seed", 0))
+    rng = np.random.default_rng(seed)
+    area = tuple(config.get("area_size_m", (400.0, 300.0)))
+    world = World(
+        frame=EnuFrame(origin=GeoPoint(35.1456, 33.4299, 0.0)),
+        rng=rng,
+        area_size_m=(float(area[0]), float(area[1])),
+        dt=float(config.get("dt", 0.5)),
+    )
+
+    env_config = config.get("environment")
+    if env_config:
+        visibility = env_config.get("visibility", "good")
+        world.environment = Environment(
+            rng=np.random.default_rng(seed + 1),
+            wind_direction_deg=float(env_config.get("wind_direction_deg", 270.0)),
+            gusts=GustProcess(
+                rng=np.random.default_rng(seed + 2),
+                mean_mps=float(env_config.get("wind_mean_mps", 3.0)),
+            ),
+            ambient_c=float(env_config.get("ambient_c", 25.0)),
+            visibility=visibility,
+        )
+
+    seen_ids = set()
+    for uav_config in uav_specs:
+        uav_id = uav_config.get("id")
+        if not uav_id:
+            raise ScenarioError(f"uav entry needs an 'id': {uav_config!r}")
+        if uav_id in seen_ids:
+            raise ScenarioError(f"duplicate uav id {uav_id!r}")
+        seen_ids.add(uav_id)
+        base = tuple(float(v) for v in uav_config.get("base", (0.0, 0.0, 0.0)))
+        if len(base) != 3:
+            raise ScenarioError(f"{uav_id}: base must have 3 elements")
+        uav = Uav(
+            spec=UavSpec(
+                uav_id=uav_id,
+                rotor_count=int(uav_config.get("rotors", 4)),
+                base_position=base,
+                battery_spec=BatterySpec(),
+            ),
+            frame=world.frame,
+            bus=world.bus,
+            rng=rng,
+        )
+        if "max_speed_mps" in uav_config:
+            uav.dynamics.max_speed_mps = float(uav_config["max_speed_mps"])
+        world.add_uav(uav)
+
+    n_persons = int(config.get("persons", 0))
+    if n_persons:
+        world.scatter_persons(n_persons)
+
+    faults = FaultSchedule()
+    for fault_spec in config.get("faults", ()):
+        fault = _build_fault(fault_spec)
+        if fault.target_uav not in world.uavs:
+            raise ScenarioError(
+                f"fault targets unknown uav {fault.target_uav!r}"
+            )
+        faults.add(fault)
+
+    for attack_spec in config.get("attacks", ()):
+        if attack_spec.get("type") != "ros_spoofing":
+            raise ScenarioError(f"unknown attack type {attack_spec!r}")
+        world.add_attacker(
+            SpoofingAttack(
+                bus=world.bus,
+                t_start=float(attack_spec.get("start", 0.0)),
+                t_stop=float(attack_spec.get("stop", float("inf"))),
+                name=attack_spec.get("name", "adversary"),
+                topic=attack_spec.get("topic", "/uav1/pose"),
+                spoofed_sender=attack_spec.get("sender", "uav1"),
+                payload_fn=lambda now: {"forged": True, "t": now},
+                rate_hz=float(attack_spec.get("rate_hz", 5.0)),
+            )
+        )
+
+    return Scenario(world=world, faults=faults, config=dict(config))
+
+
+def load_scenario_json(text: str) -> Scenario:
+    """Load a scenario from a JSON document."""
+    try:
+        config = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"invalid JSON: {exc}") from exc
+    if not isinstance(config, dict):
+        raise ScenarioError("scenario JSON must be an object")
+    return load_scenario(config)

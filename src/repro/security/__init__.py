@@ -1,0 +1,51 @@
+"""Security EDDI framework (paper Sec. III-B).
+
+"Each Security EDDI is implemented as a Python script tailored to a
+specific attack tree, capable of parsing and recognizing attack patterns
+to detect an adversary's ultimate goal. Supporting components include an
+MQTT message protocol broker and an Intrusion Detection System (IDS),
+which inspects network traffic and publishes alerts upon detecting
+suspicious activity."
+
+This subpackage builds that pipeline end-to-end: attack trees with CAPEC
+metadata, an in-process MQTT-style broker, a rule-based IDS over the
+simulated ROS traffic, spoofing detectors (GPS and ROS message), and the
+Security EDDI engine that traces alerts from attack-tree leaves toward the
+root.
+"""
+
+from repro.security.attack_trees import AttackNode, AttackTree, GateType
+from repro.security.broker import MqttBroker
+from repro.security.ids import Alert, IntrusionDetectionSystem, IdsRule
+from repro.security.eddi import SecurityEddi, SecurityEvent
+from repro.security.spoofing import GpsSpoofingDetector, SpoofVerdict
+from repro.security.analysis import (
+    RiskSummary,
+    gps_spoofing_attack_tree,
+    eavesdrop_replay_attack_tree,
+    propagate_likelihood,
+    risk_summary,
+    threat_landscape,
+    uav_threat_library,
+)
+
+__all__ = [
+    "AttackNode",
+    "AttackTree",
+    "GateType",
+    "MqttBroker",
+    "Alert",
+    "IntrusionDetectionSystem",
+    "IdsRule",
+    "SecurityEddi",
+    "SecurityEvent",
+    "GpsSpoofingDetector",
+    "SpoofVerdict",
+    "RiskSummary",
+    "gps_spoofing_attack_tree",
+    "eavesdrop_replay_attack_tree",
+    "propagate_likelihood",
+    "risk_summary",
+    "threat_landscape",
+    "uav_threat_library",
+]

@@ -1,0 +1,194 @@
+"""Quantitative attack-tree analysis and the extended tree library.
+
+The Security EDDI attack scenarios carry 'severity' and 'likelihood'
+metadata (Sec. III-B); this module makes them computable: ordinal scales
+are mapped to numeric values, likelihood propagates leaf-to-root (AND
+multiplies, OR takes the complement-product), and risk combines
+propagated likelihood with root severity. The threat-landscape summary is
+what a design-time security review of the UAV platform reads.
+
+Also ships the additional attack trees for the UAV threat model beyond
+the ROS-spoofing tree used in Fig. 6: GPS spoofing at RF level and the
+eavesdrop-then-replay scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security.attack_trees import AttackNode, AttackTree, GateType
+
+LIKELIHOOD_SCALE = {"low": 0.1, "medium": 0.4, "high": 0.7, "very_high": 0.9}
+SEVERITY_SCALE = {"low": 1.0, "medium": 2.0, "high": 3.0, "critical": 4.0}
+
+
+def leaf_likelihood(node: AttackNode) -> float:
+    """Numeric likelihood of a leaf from its ordinal metadata."""
+    try:
+        return LIKELIHOOD_SCALE[node.likelihood]
+    except KeyError:
+        raise ValueError(
+            f"{node.node_id}: unknown likelihood {node.likelihood!r}"
+        ) from None
+
+
+def propagate_likelihood(node: AttackNode) -> float:
+    """Root-goal likelihood under leaf independence.
+
+    AND gates require every child step (product); OR gates succeed if any
+    child does (complement product).
+    """
+    if node.gate is GateType.LEAF:
+        return leaf_likelihood(node)
+    child_values = [propagate_likelihood(child) for child in node.children]
+    if node.gate is GateType.AND:
+        out = 1.0
+        for value in child_values:
+            out *= value
+        return out
+    survive = 1.0
+    for value in child_values:
+        survive *= 1.0 - value
+    return 1.0 - survive
+
+
+@dataclass(frozen=True)
+class RiskSummary:
+    """Quantified risk of one attack tree."""
+
+    tree: str
+    root_likelihood: float
+    severity: float
+    risk: float  # likelihood x severity
+    dominant_path: list[str]
+
+
+def _dominant_path(node: AttackNode) -> list[str]:
+    """The most likely way to the goal: maximising children of OR gates."""
+    if node.gate is GateType.LEAF:
+        return [node.node_id]
+    if node.gate is GateType.AND:
+        path = [node.node_id]
+        for child in node.children:
+            path.extend(_dominant_path(child))
+        return path
+    best = max(node.children, key=propagate_likelihood)
+    return [node.node_id] + _dominant_path(best)
+
+
+def risk_summary(tree: AttackTree) -> RiskSummary:
+    """Quantify one tree: propagated likelihood x root severity."""
+    likelihood = propagate_likelihood(tree.root)
+    try:
+        severity = SEVERITY_SCALE[tree.root.severity]
+    except KeyError:
+        raise ValueError(
+            f"{tree.name}: unknown severity {tree.root.severity!r}"
+        ) from None
+    return RiskSummary(
+        tree=tree.name,
+        root_likelihood=likelihood,
+        severity=severity,
+        risk=likelihood * severity,
+        dominant_path=_dominant_path(tree.root),
+    )
+
+
+def threat_landscape(trees: list[AttackTree]) -> list[RiskSummary]:
+    """Risk-ranked summary over a tree library (highest risk first)."""
+    return sorted((risk_summary(t) for t in trees), key=lambda s: s.risk, reverse=True)
+
+
+# --------------------------------------------------------------------------
+# Extended attack-tree library for the UAV platform threat model.
+# --------------------------------------------------------------------------
+
+def gps_spoofing_attack_tree() -> AttackTree:
+    """RF-level GPS spoofing: divert navigation without touching ROS."""
+    root = AttackNode(
+        node_id="divert_navigation",
+        title="Divert UAV navigation via GPS spoofing",
+        gate=GateType.AND,
+        capec_id="CAPEC-627",
+        severity="critical",
+        likelihood="medium",
+        mitigation="IMU cross-check detector; collaborative localization fallback.",
+        children=[
+            AttackNode(
+                node_id="acquire_signal_params",
+                title="Acquire victim GNSS signal parameters",
+                gate=GateType.OR,
+                children=[
+                    AttackNode(
+                        node_id="record_live_signal",
+                        title="Record live GNSS in the operating area",
+                        capec_id="CAPEC-158",
+                        alert_type="rf_survey",
+                        likelihood="high",
+                        mitigation="RF monitoring around the operating area.",
+                    ),
+                    AttackNode(
+                        node_id="synthesize_ephemeris",
+                        title="Synthesize constellation ephemeris",
+                        capec_id="CAPEC-148",
+                        alert_type="rf_synthesis",
+                        likelihood="medium",
+                        mitigation="Signal-authentication (OSNMA) receivers.",
+                    ),
+                ],
+            ),
+            AttackNode(
+                node_id="overpower_receiver",
+                title="Overpower the victim receiver with the forged signal",
+                capec_id="CAPEC-607",
+                alert_type="gps_anomaly",
+                severity="high",
+                likelihood="medium",
+                mitigation="C/N0 monitoring; multi-antenna direction finding.",
+            ),
+        ],
+    )
+    return AttackTree(name="gps_spoofing", root=root)
+
+
+def eavesdrop_replay_attack_tree() -> AttackTree:
+    """Capture mission traffic, then replay stale commands later."""
+    root = AttackNode(
+        node_id="replay_commands",
+        title="Replay captured commands to misdirect the fleet",
+        gate=GateType.AND,
+        capec_id="CAPEC-94",
+        severity="high",
+        likelihood="low",
+        mitigation="Nonces / timestamps on command messages.",
+        children=[
+            AttackNode(
+                node_id="eavesdrop_traffic",
+                title="Eavesdrop unencrypted ROS traffic",
+                capec_id="CAPEC-158",
+                alert_type="promiscuous_probe",
+                likelihood="high",
+                mitigation="Transport encryption (SROS2/TLS).",
+            ),
+            AttackNode(
+                node_id="inject_replayed",
+                title="Re-inject captured command messages",
+                capec_id="CAPEC-94",
+                alert_type="message_injection",
+                likelihood="medium",
+                mitigation="Sequence-number and freshness checks.",
+            ),
+        ],
+    )
+    return AttackTree(name="eavesdrop_replay", root=root)
+
+
+def uav_threat_library() -> list[AttackTree]:
+    """The platform's full attack-tree library."""
+    from repro.security.attack_trees import ros_spoofing_attack_tree
+
+    return [
+        ros_spoofing_attack_tree(),
+        gps_spoofing_attack_tree(),
+        eavesdrop_replay_attack_tree(),
+    ]

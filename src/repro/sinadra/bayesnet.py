@@ -1,0 +1,194 @@
+"""Discrete Bayesian networks with exact inference by variable elimination.
+
+A small, dependency-light engine sufficient for SINADRA's situation risk
+models: named nodes with finite state spaces, conditional probability
+tables indexed by parent-state tuples, and posterior queries given hard
+evidence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DiscreteNode:
+    """One network node.
+
+    ``cpt`` maps a tuple of parent states (in ``parents`` order; the empty
+    tuple for root nodes) to a probability vector over ``states``.
+    """
+
+    name: str
+    states: list[str]
+    parents: list[str] = field(default_factory=list)
+    cpt: dict[tuple[str, ...], list[float]] = field(default_factory=dict)
+
+    def validate(self, network: "BayesianNetwork") -> None:
+        """Check the CPT is complete and each row is a distribution."""
+        parent_spaces = [network.node(p).states for p in self.parents]
+        for combo in itertools.product(*parent_spaces):
+            if combo not in self.cpt:
+                raise ValueError(f"{self.name}: missing CPT row for parents {combo}")
+            row = self.cpt[combo]
+            if len(row) != len(self.states):
+                raise ValueError(f"{self.name}: CPT row {combo} has wrong arity")
+            if any(p < 0.0 for p in row) or abs(sum(row) - 1.0) > 1e-9:
+                raise ValueError(f"{self.name}: CPT row {combo} is not a distribution")
+
+
+@dataclass
+class _Factor:
+    """A factor over a list of variables, stored as a dense array."""
+
+    variables: list[str]
+    cardinalities: list[int]
+    values: np.ndarray
+
+    def marginalize(self, var: str) -> "_Factor":
+        axis = self.variables.index(var)
+        return _Factor(
+            variables=[v for v in self.variables if v != var],
+            cardinalities=[c for i, c in enumerate(self.cardinalities) if i != axis],
+            values=self.values.sum(axis=axis),
+        )
+
+    def multiply(self, other: "_Factor") -> "_Factor":
+        all_vars = list(self.variables)
+        all_cards = list(self.cardinalities)
+        for v, c in zip(other.variables, other.cardinalities):
+            if v not in all_vars:
+                all_vars.append(v)
+                all_cards.append(c)
+
+        def broadcast(factor: "_Factor") -> np.ndarray:
+            shape = [1] * len(all_vars)
+            src_axes = [all_vars.index(v) for v in factor.variables]
+            arr = factor.values
+            # Move factor axes into the combined ordering.
+            order = np.argsort(src_axes)
+            arr = np.transpose(arr, axes=order)
+            for axis in sorted(src_axes):
+                shape[axis] = all_cards[axis]
+            full = np.ones(shape)
+            idx = [0] * len(all_vars)
+            expand_shape = [
+                all_cards[i] if i in src_axes else 1 for i in range(len(all_vars))
+            ]
+            return full * arr.reshape(expand_shape)
+
+        return _Factor(
+            variables=all_vars,
+            cardinalities=all_cards,
+            values=broadcast(self) * broadcast(other),
+        )
+
+
+@dataclass
+class BayesianNetwork:
+    """A directed acyclic network of :class:`DiscreteNode` objects."""
+
+    nodes: dict[str, DiscreteNode] = field(default_factory=dict)
+    _order: list[str] = field(default_factory=list)
+
+    def add_node(self, node: DiscreteNode) -> DiscreteNode:
+        """Add a node; parents must already be present (topological insert)."""
+        for parent in node.parents:
+            if parent not in self.nodes:
+                raise ValueError(f"{node.name}: unknown parent {parent!r}")
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        self._order.append(node.name)
+        return node
+
+    def node(self, name: str) -> DiscreteNode:
+        """Look up a node by name."""
+        return self.nodes[name]
+
+    def validate(self) -> None:
+        """Validate every node's CPT."""
+        for node in self.nodes.values():
+            node.validate(self)
+
+    # ----------------------------------------------------------- inference
+    def _node_factor(self, node: DiscreteNode) -> _Factor:
+        variables = node.parents + [node.name]
+        cards = [len(self.node(p).states) for p in node.parents] + [len(node.states)]
+        values = np.zeros(cards)
+        parent_spaces = [self.node(p).states for p in node.parents]
+        for combo in itertools.product(*parent_spaces):
+            idx = tuple(
+                self.node(p).states.index(s) for p, s in zip(node.parents, combo)
+            )
+            values[idx] = np.asarray(node.cpt[combo])
+        return _Factor(variables=variables, cardinalities=cards, values=values)
+
+    def query(
+        self, target: str, evidence: dict[str, str] | None = None
+    ) -> dict[str, float]:
+        """Posterior P(target | evidence) by variable elimination."""
+        evidence = evidence or {}
+        if target not in self.nodes:
+            raise ValueError(f"unknown target {target!r}")
+        for var, state in evidence.items():
+            if var not in self.nodes:
+                raise ValueError(f"unknown evidence variable {var!r}")
+            if state not in self.node(var).states:
+                raise ValueError(f"{var!r} has no state {state!r}")
+        if target in evidence:
+            # Degenerate query: the posterior is a point mass on the
+            # observed state.
+            return {
+                s: 1.0 if s == evidence[target] else 0.0
+                for s in self.node(target).states
+            }
+
+        factors = [self._node_factor(n) for n in self.nodes.values()]
+        # Condition each factor on the evidence by slicing.
+        conditioned: list[_Factor] = []
+        for factor in factors:
+            values = factor.values
+            variables = list(factor.variables)
+            cards = list(factor.cardinalities)
+            for var, state in evidence.items():
+                if var in variables:
+                    axis = variables.index(var)
+                    state_idx = self.node(var).states.index(state)
+                    values = np.take(values, state_idx, axis=axis)
+                    del variables[axis]
+                    del cards[axis]
+            conditioned.append(_Factor(variables, cards, values))
+
+        # Eliminate everything except the target, in insertion order.
+        for var in self._order:
+            if var == target or var in evidence:
+                continue
+            involved = [f for f in conditioned if var in f.variables]
+            if not involved:
+                continue
+            product = involved[0]
+            for f in involved[1:]:
+                product = product.multiply(f)
+            conditioned = [f for f in conditioned if var not in f.variables]
+            conditioned.append(product.marginalize(var))
+
+        result = conditioned[0]
+        for f in conditioned[1:]:
+            result = result.multiply(f)
+        if result.variables != [target]:
+            axis_order = [result.variables.index(target)]
+            other = [i for i in range(len(result.variables)) if i not in axis_order]
+            values = result.values.transpose(axis_order + other).reshape(
+                len(self.node(target).states), -1
+            ).sum(axis=1)
+        else:
+            values = result.values
+        total = values.sum()
+        if total <= 0.0:
+            raise ValueError("evidence has zero probability under the model")
+        probs = values / total
+        return dict(zip(self.node(target).states, (float(p) for p in probs)))

@@ -1,0 +1,104 @@
+"""Time-sliced dynamic risk tracking (the "dynamic" in SINADRA).
+
+The static network in :mod:`repro.sinadra.risk` assesses one snapshot;
+real missions need the *filtered* risk over time: noisy single-frame
+uncertainty spikes should not flip the criticality, while persistent
+elevation should. This module implements a discrete forward filter — a
+two-slice dynamic Bayesian network over a latent risk regime — on top of
+the static assessment:
+
+state space  {low, medium, high} risk regime
+transition   sticky diagonal (regimes persist across one tick)
+observation  the static model's missed-person probability, discretised
+
+The filtered posterior drives criticality with hysteresis, which is what
+the re-scan policy consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sinadra.risk import Criticality, SarRiskModel, SituationInputs
+
+REGIMES = [Criticality.LOW, Criticality.MEDIUM, Criticality.HIGH]
+
+
+@dataclass(frozen=True)
+class FilteredRisk:
+    """One filtered output."""
+
+    stamp: float
+    posterior: dict[Criticality, float]
+    regime: Criticality
+    instantaneous: Criticality
+    rescan_recommended: bool
+
+
+@dataclass
+class DynamicRiskTracker:
+    """Forward filter over the latent risk regime.
+
+    ``stickiness`` is the self-transition probability of each regime;
+    the remainder spreads to adjacent regimes (risk evolves gradually).
+    ``observation_confusion`` is the probability mass the instantaneous
+    assessment leaks to each adjacent regime (sensor/assessment noise).
+    """
+
+    model: SarRiskModel = field(default_factory=SarRiskModel)
+    stickiness: float = 0.8
+    observation_confusion: float = 0.15
+    belief: np.ndarray = None  # type: ignore[assignment]
+    history: list[FilteredRisk] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.stickiness <= 1.0:
+            raise ValueError("stickiness must be in [0.5, 1]")
+        if not 0.0 <= self.observation_confusion <= 0.5:
+            raise ValueError("observation_confusion must be in [0, 0.5]")
+        if self.belief is None:
+            self.belief = np.array([1.0, 0.0, 0.0])  # start in the LOW regime
+
+    def _transition_matrix(self) -> np.ndarray:
+        s = self.stickiness
+        spread = 1.0 - s
+        return np.array(
+            [
+                [s, spread, 0.0],
+                [spread / 2.0, s, spread / 2.0],
+                [0.0, spread, s],
+            ]
+        )
+
+    def _observation_likelihood(self, observed: Criticality) -> np.ndarray:
+        idx = REGIMES.index(observed)
+        likelihood = np.full(3, 0.0)
+        likelihood[idx] = 1.0 - 2.0 * self.observation_confusion
+        for neighbor in (idx - 1, idx + 1):
+            if 0 <= neighbor < 3:
+                likelihood[neighbor] = self.observation_confusion
+        return likelihood + 1e-9
+
+    def update(self, now: float, situation: SituationInputs) -> FilteredRisk:
+        """One predict-update cycle with a fresh situation snapshot."""
+        instantaneous = self.model.assess(situation).criticality
+        predicted = self._transition_matrix().T @ self.belief
+        weighted = predicted * self._observation_likelihood(instantaneous)
+        self.belief = weighted / weighted.sum()
+        regime = REGIMES[int(np.argmax(self.belief))]
+        result = FilteredRisk(
+            stamp=now,
+            posterior=dict(zip(REGIMES, (float(p) for p in self.belief))),
+            regime=regime,
+            instantaneous=instantaneous,
+            rescan_recommended=regime is Criticality.HIGH,
+        )
+        self.history.append(result)
+        return result
+
+    def reset(self) -> None:
+        """Return to the prior belief (new area / new mission)."""
+        self.belief = np.array([1.0, 0.0, 0.0])
+        self.history.clear()

@@ -1,0 +1,162 @@
+"""The SAR missed-person risk model (SINADRA instantiation).
+
+Encodes the paper's Sec. III-A4 behaviour: given the current person-
+detection uncertainty (from SafeML / DeepKnowledge), the environment
+situation (altitude band, visibility), and the prior likelihood that the
+scanned cell contains a person, the Bayesian network infers the
+criticality of a missed detection. High criticality triggers an immediate
+re-scan (typically at lower altitude); low criticality lets the UAV
+proceed to the next task.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sinadra.bayesnet import BayesianNetwork, DiscreteNode
+
+
+class Criticality(enum.Enum):
+    """Risk vocabulary driving the re-scan decision."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+@dataclass(frozen=True)
+class SituationInputs:
+    """Discretised runtime situation fed to the risk network.
+
+    ``detection_uncertainty`` in [0, 1] from the perception monitors;
+    ``altitude_band`` in {"low", "high"}; ``visibility`` in {"good",
+    "poor"}; ``occupancy_prior`` in [0, 1] — mission-intelligence prior
+    that the current cell holds a person.
+    """
+
+    detection_uncertainty: float
+    altitude_band: str
+    visibility: str
+    occupancy_prior: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.detection_uncertainty <= 1.0:
+            raise ValueError("detection_uncertainty out of range")
+        if not 0.0 <= self.occupancy_prior <= 1.0:
+            raise ValueError("occupancy_prior out of range")
+        if self.altitude_band not in ("low", "high"):
+            raise ValueError("altitude_band must be 'low' or 'high'")
+        if self.visibility not in ("good", "poor"):
+            raise ValueError("visibility must be 'good' or 'poor'")
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """SINADRA output for one scanned cell."""
+
+    missed_person_probability: float
+    criticality: Criticality
+    rescan_recommended: bool
+
+
+def build_sar_risk_network() -> BayesianNetwork:
+    """Construct the missed-person criticality Bayesian network.
+
+    Structure::
+
+        uncertainty  altitude  visibility      occupancy
+              \\        |          /                |
+               +--- detection_miss ---+            |
+                          \\                        /
+                           +---- missed_person ---+
+    """
+    net = BayesianNetwork()
+    net.add_node(
+        DiscreteNode("uncertainty", ["low", "medium", "high"], cpt={(): [0.5, 0.3, 0.2]})
+    )
+    net.add_node(DiscreteNode("altitude", ["low", "high"], cpt={(): [0.5, 0.5]}))
+    net.add_node(DiscreteNode("visibility", ["good", "poor"], cpt={(): [0.8, 0.2]}))
+    net.add_node(DiscreteNode("occupancy", ["empty", "person"], cpt={(): [0.9, 0.1]}))
+
+    miss_cpt: dict[tuple[str, ...], list[float]] = {}
+    base_miss = {"low": 0.02, "medium": 0.15, "high": 0.45}
+    for unc, p_miss in base_miss.items():
+        for alt, alt_mult in (("low", 1.0), ("high", 2.0)):
+            for vis, vis_mult in (("good", 1.0), ("poor", 1.6)):
+                p = min(0.95, p_miss * alt_mult * vis_mult)
+                miss_cpt[(unc, alt, vis)] = [1.0 - p, p]
+    net.add_node(
+        DiscreteNode(
+            "detection_miss",
+            ["no", "yes"],
+            parents=["uncertainty", "altitude", "visibility"],
+            cpt=miss_cpt,
+        )
+    )
+    net.add_node(
+        DiscreteNode(
+            "missed_person",
+            ["no", "yes"],
+            parents=["detection_miss", "occupancy"],
+            cpt={
+                ("no", "empty"): [1.0, 0.0],
+                ("no", "person"): [1.0, 0.0],
+                ("yes", "empty"): [1.0, 0.0],
+                ("yes", "person"): [0.0, 1.0],
+            },
+        )
+    )
+    net.validate()
+    return net
+
+
+@dataclass
+class SarRiskModel:
+    """Runtime wrapper: continuous situation in, criticality out."""
+
+    rescan_threshold: float = 0.04
+    high_threshold: float = 0.08
+
+    def __post_init__(self) -> None:
+        self.network = build_sar_risk_network()
+
+    @staticmethod
+    def _discretise_uncertainty(u: float) -> str:
+        if u < 0.5:
+            return "low"
+        if u < 0.85:
+            return "medium"
+        return "high"
+
+    def assess(self, situation: SituationInputs) -> RiskAssessment:
+        """Infer missed-person probability and map to criticality.
+
+        The occupancy prior enters as soft evidence by linearly mixing the
+        posterior computed under both occupancy states.
+        """
+        evidence_common = {
+            "uncertainty": self._discretise_uncertainty(situation.detection_uncertainty),
+            "altitude": situation.altitude_band,
+            "visibility": situation.visibility,
+        }
+        p_person = situation.occupancy_prior
+        posterior_person = self.network.query(
+            "missed_person", {**evidence_common, "occupancy": "person"}
+        )["yes"]
+        posterior_empty = self.network.query(
+            "missed_person", {**evidence_common, "occupancy": "empty"}
+        )["yes"]
+        p_missed = p_person * posterior_person + (1.0 - p_person) * posterior_empty
+
+        if p_missed >= self.high_threshold:
+            criticality = Criticality.HIGH
+        elif p_missed >= self.rescan_threshold:
+            criticality = Criticality.MEDIUM
+        else:
+            criticality = Criticality.LOW
+        return RiskAssessment(
+            missed_person_probability=p_missed,
+            criticality=criticality,
+            rescan_recommended=criticality is Criticality.HIGH,
+        )

@@ -1,0 +1,111 @@
+"""Kinematic waypoint-following dynamics for a multirotor.
+
+A point-mass model in the local ENU frame: the vehicle accelerates toward
+the active waypoint subject to speed/acceleration limits and settles when
+within a capture radius. This is deliberately simple — the paper's
+experiments exercise telemetry, reliability, and security layers, none of
+which depend on rotor-level aerodynamics — but it yields smooth, physically
+plausible trajectories for the Fig. 6 mapping plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WaypointPlan:
+    """An ordered list of ENU waypoints with a capture radius."""
+
+    waypoints: list[tuple[float, float, float]] = field(default_factory=list)
+    capture_radius_m: float = 2.0
+    index: int = 0
+
+    @property
+    def active(self) -> tuple[float, float, float] | None:
+        """The waypoint currently being flown to, or ``None`` when done."""
+        if self.index < len(self.waypoints):
+            return self.waypoints[self.index]
+        return None
+
+    @property
+    def complete(self) -> bool:
+        """True when every waypoint has been captured."""
+        return self.index >= len(self.waypoints)
+
+    def advance_if_captured(self, position: tuple[float, float, float]) -> bool:
+        """Advance to the next waypoint if within the capture radius."""
+        target = self.active
+        if target is None:
+            return False
+        dist = math.dist(position, target)
+        if dist <= self.capture_radius_m:
+            self.index += 1
+            return True
+        return False
+
+    def replace(self, waypoints: list[tuple[float, float, float]]) -> None:
+        """Swap in a new waypoint list and restart from its beginning."""
+        self.waypoints = list(waypoints)
+        self.index = 0
+
+
+@dataclass
+class UavDynamics:
+    """Point-mass kinematics with velocity and acceleration limits."""
+
+    position: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    velocity: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    # Environment-imposed drift (unrejected wind), set by the world each
+    # step; part of the true ground velocity that inertial sensing sees.
+    drift_velocity: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    max_speed_mps: float = 12.0
+    max_accel_mps2: float = 4.0
+    max_climb_mps: float = 4.0
+
+    def step_toward(
+        self, target: tuple[float, float, float] | None, dt: float
+    ) -> None:
+        """Advance ``dt`` seconds toward ``target`` (hover if ``None``)."""
+        if target is None:
+            desired = (0.0, 0.0, 0.0)
+        else:
+            delta = tuple(t - p for t, p in zip(target, self.position))
+            dist = math.sqrt(sum(d * d for d in delta))
+            if dist < 1e-9:
+                desired = (0.0, 0.0, 0.0)
+            else:
+                # Proportional speed with braking near the target.
+                speed = min(self.max_speed_mps, dist / max(dt, 1e-6), dist * 0.8 + 0.5)
+                desired = tuple(d / dist * speed for d in delta)
+                # Clamp the vertical rate separately (multirotor climb limit).
+                if abs(desired[2]) > self.max_climb_mps:
+                    scale = self.max_climb_mps / abs(desired[2])
+                    desired = (desired[0], desired[1], desired[2] * scale)
+        # Accelerate toward the desired velocity under the accel limit.
+        dv = tuple(d - v for d, v in zip(desired, self.velocity))
+        dv_norm = math.sqrt(sum(x * x for x in dv))
+        max_dv = self.max_accel_mps2 * dt
+        if dv_norm > max_dv and dv_norm > 1e-9:
+            dv = tuple(x / dv_norm * max_dv for x in dv)
+        self.velocity = tuple(v + x for v, x in zip(self.velocity, dv))
+        self.position = tuple(p + v * dt for p, v in zip(self.position, self.velocity))
+
+    @property
+    def ground_velocity(self) -> tuple[float, float, float]:
+        """Commanded velocity plus environment drift — what an INS sees."""
+        return tuple(v + d for v, d in zip(self.velocity, self.drift_velocity))
+
+    @property
+    def speed_mps(self) -> float:
+        """Current ground-frame speed magnitude."""
+        return math.sqrt(sum(v * v for v in self.velocity))
+
+    @property
+    def heading_deg(self) -> float:
+        """Course over ground in degrees from north, [0, 360)."""
+        east, north = self.velocity[0], self.velocity[1]
+        if abs(east) < 1e-9 and abs(north) < 1e-9:
+            return 0.0
+        return math.degrees(math.atan2(east, north)) % 360.0

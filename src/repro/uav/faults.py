@@ -1,0 +1,158 @@
+"""Generic fault-injection framework for dependability testing.
+
+The SESAME technologies exist to handle faults; this framework injects
+them reproducibly: each :class:`Fault` manifests at a scheduled time on a
+target UAV (motor loss, GPS denial, camera degradation, IMU failure,
+battery collapse), and a :class:`FaultSchedule` steps the whole campaign
+alongside the world — the harness behind failure-injection test suites
+and resilience benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.uav.battery import BatteryFault
+from repro.uav.uav import Uav
+
+
+@dataclass
+class Fault:
+    """One scheduled fault with apply (and optional clear) actions."""
+
+    name: str
+    target_uav: str
+    at_time: float
+    apply: Callable[[Uav], None]
+    clear: Callable[[Uav], None] | None = None
+    clear_at_time: float | None = None
+    applied: bool = False
+    cleared: bool = False
+
+    def step(self, now: float, uav: Uav) -> bool:
+        """Apply/clear when due; returns True if a transition happened."""
+        changed = False
+        if not self.applied and now >= self.at_time:
+            self.apply(uav)
+            self.applied = True
+            changed = True
+        if (
+            self.applied
+            and not self.cleared
+            and self.clear is not None
+            and self.clear_at_time is not None
+            and now >= self.clear_at_time
+        ):
+            self.clear(uav)
+            self.cleared = True
+            changed = True
+        return changed
+
+
+# ------------------------------------------------------- fault factories
+def gps_denial(target_uav: str, at_time: float, duration_s: float | None = None) -> Fault:
+    """Deny GPS (jamming); optionally restore after ``duration_s``."""
+
+    def apply(uav: Uav) -> None:
+        uav.sensors.gps.denied = True
+
+    def clear(uav: Uav) -> None:
+        uav.sensors.gps.denied = False
+
+    return Fault(
+        name="gps_denial",
+        target_uav=target_uav,
+        at_time=at_time,
+        apply=apply,
+        clear=clear if duration_s is not None else None,
+        clear_at_time=at_time + duration_s if duration_s is not None else None,
+    )
+
+
+def gps_spoof(target_uav: str, at_time: float, offset_m: tuple[float, float, float]) -> Fault:
+    """Apply a fixed GPS spoof offset."""
+    return Fault(
+        name="gps_spoof",
+        target_uav=target_uav,
+        at_time=at_time,
+        apply=lambda uav: setattr(uav.sensors.gps, "spoof_offset_m", offset_m),
+    )
+
+
+def camera_degradation(target_uav: str, at_time: float, rate_per_s: float = 0.02) -> Fault:
+    """Start progressive camera degradation (dirt, condensation)."""
+    return Fault(
+        name="camera_degradation",
+        target_uav=target_uav,
+        at_time=at_time,
+        apply=lambda uav: setattr(uav.sensors.camera, "degradation_rate", rate_per_s),
+    )
+
+
+def imu_failure(target_uav: str, at_time: float) -> Fault:
+    """Hard IMU failure (velocity output freezes at zero)."""
+    return Fault(
+        name="imu_failure",
+        target_uav=target_uav,
+        at_time=at_time,
+        apply=lambda uav: setattr(uav.sensors.imu, "healthy", False),
+    )
+
+
+def motor_failure(target_uav: str, at_time: float) -> Fault:
+    """One motor fails (reported by the flight controller's ESC telemetry)."""
+
+    def apply(uav: Uav) -> None:
+        uav.motors_failed += 1
+
+    return Fault(
+        name="motor_failure",
+        target_uav=target_uav,
+        at_time=at_time,
+        apply=apply,
+    )
+
+
+def battery_collapse(target_uav: str, at_time: float, soc_drop_to: float = 0.4) -> Fault:
+    """Schedule the Fig. 5 style battery cell-group collapse."""
+
+    def apply(uav: Uav) -> None:
+        uav.battery.inject_fault(
+            BatteryFault(at_time=at_time, soc_drop_to=soc_drop_to)
+        )
+
+    # Injection arms the battery's own schedule, so apply slightly early.
+    return Fault(
+        name="battery_collapse",
+        target_uav=target_uav,
+        at_time=max(0.0, at_time - 1.0),
+        apply=apply,
+    )
+
+
+@dataclass
+class FaultSchedule:
+    """A reproducible fault campaign over a fleet."""
+
+    faults: list[Fault] = field(default_factory=list)
+    log: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def add(self, fault: Fault) -> Fault:
+        """Register one fault."""
+        self.faults.append(fault)
+        return fault
+
+    def step(self, now: float, uavs: dict[str, Uav]) -> None:
+        """Apply all due faults; unknown targets raise."""
+        for fault in self.faults:
+            if fault.target_uav not in uavs:
+                raise KeyError(f"fault targets unknown UAV {fault.target_uav!r}")
+            if fault.step(now, uavs[fault.target_uav]):
+                state = "cleared" if fault.cleared else "applied"
+                self.log.append((now, fault.name, state))
+
+    @property
+    def all_applied(self) -> bool:
+        """Whether every scheduled fault has manifested."""
+        return all(f.applied for f in self.faults)

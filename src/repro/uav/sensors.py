@@ -1,0 +1,168 @@
+"""Sensor suite for the simulated UAV.
+
+Each sensor samples the true world/vehicle state and returns a noisy,
+possibly faulted or attacked measurement. The GPS sensor is the attack
+surface for the spoofing experiments (Fig. 6/7): an attacker can bias its
+output or deny it entirely, while quality indicators (satellite count,
+dilution of precision) degrade in ways the GPS-localization ConSert
+monitors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo import EnuFrame, GeoPoint
+
+
+@dataclass(frozen=True)
+class GpsFix:
+    """One GPS measurement: geodetic point plus quality indicators."""
+
+    point: GeoPoint
+    num_satellites: int
+    hdop: float
+    valid: bool
+    stamp: float
+
+    @property
+    def quality_ok(self) -> bool:
+        """True when the fix meets the nominal navigation quality bar."""
+        return self.valid and self.num_satellites >= 6 and self.hdop <= 2.5
+
+
+@dataclass
+class GpsSensor:
+    """GPS receiver with Gaussian noise, spoof bias, and denial.
+
+    ``spoof_offset_m`` shifts the reported position in the ENU frame —
+    the physical effect of a GPS spoofing attack. ``denied`` models
+    jamming/loss: fixes come back invalid with zero satellites.
+    """
+
+    frame: EnuFrame
+    rng: np.random.Generator
+    noise_std_m: float = 0.35
+    spoof_offset_m: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    denied: bool = False
+    healthy: bool = True
+
+    def measure(self, true_enu: tuple[float, float, float], now: float) -> GpsFix:
+        """Produce a fix for the vehicle at ``true_enu`` metres."""
+        if self.denied or not self.healthy:
+            return GpsFix(
+                point=self.frame.to_geo(*true_enu),
+                num_satellites=0,
+                hdop=99.0,
+                valid=False,
+                stamp=now,
+            )
+        noisy = tuple(
+            t + o + self.rng.normal(0.0, self.noise_std_m)
+            for t, o in zip(true_enu, self.spoof_offset_m)
+        )
+        spoofed = any(abs(o) > 1e-9 for o in self.spoof_offset_m)
+        # A spoofer replays consistent ephemeris, so quality indicators stay
+        # plausible; mild degradation reflects the repeater geometry.
+        sats = int(self.rng.integers(7, 13)) if not spoofed else int(self.rng.integers(6, 9))
+        hdop = float(self.rng.uniform(0.7, 1.4)) if not spoofed else float(
+            self.rng.uniform(1.2, 2.2)
+        )
+        return GpsFix(
+            point=self.frame.to_geo(*noisy),
+            num_satellites=sats,
+            hdop=hdop,
+            valid=True,
+            stamp=now,
+        )
+
+
+@dataclass
+class ImuSensor:
+    """Inertial sensor producing noisy velocity (odometry proxy).
+
+    The spoofing detector cross-checks GPS displacement against IMU-derived
+    displacement; the IMU is assumed unspoofable (it is self-contained).
+    """
+
+    rng: np.random.Generator
+    noise_std_mps: float = 0.08
+    healthy: bool = True
+
+    def measure(self, true_velocity: tuple[float, float, float]) -> tuple[float, float, float]:
+        """Return a noisy copy of the true velocity vector."""
+        if not self.healthy:
+            return (0.0, 0.0, 0.0)
+        return tuple(v + self.rng.normal(0.0, self.noise_std_mps) for v in true_velocity)
+
+
+@dataclass
+class Camera:
+    """RGB camera health model.
+
+    The vision-based sensor-health ConSert consumes ``health`` in [0, 1];
+    degradations model lens obstruction, vibration blur, or low light.
+    """
+
+    rng: np.random.Generator
+    health: float = 1.0
+    degradation_rate: float = 0.0
+
+    def step(self, dt: float) -> None:
+        """Apply any configured gradual degradation."""
+        if self.degradation_rate > 0.0:
+            self.health = max(0.0, self.health - self.degradation_rate * dt)
+
+    @property
+    def operational(self) -> bool:
+        """True while the camera can support vision-based navigation."""
+        return self.health >= 0.5
+
+
+@dataclass
+class TemperatureSensor:
+    """Battery/ambient temperature sensor with small Gaussian noise."""
+
+    rng: np.random.Generator
+    noise_std_c: float = 0.5
+
+    def measure(self, true_temp_c: float) -> float:
+        """Return a noisy temperature reading in Celsius."""
+        return true_temp_c + float(self.rng.normal(0.0, self.noise_std_c))
+
+
+@dataclass
+class WindSensor:
+    """Wind speed estimate from attitude compensation, noisy."""
+
+    rng: np.random.Generator
+    noise_std_mps: float = 0.4
+
+    def measure(self, true_wind_mps: float) -> float:
+        """Return a noisy non-negative wind speed reading."""
+        return max(0.0, true_wind_mps + float(self.rng.normal(0.0, self.noise_std_mps)))
+
+
+@dataclass
+class SensorSuite:
+    """The full sensor complement of one UAV."""
+
+    gps: GpsSensor
+    imu: ImuSensor
+    camera: Camera
+    temperature: TemperatureSensor
+    wind: WindSensor
+
+    @classmethod
+    def create(cls, frame: EnuFrame, rng: np.random.Generator) -> "SensorSuite":
+        """Build a nominal suite sharing one random generator."""
+        return cls(
+            gps=GpsSensor(frame=frame, rng=rng),
+            imu=ImuSensor(rng=rng),
+            camera=Camera(rng=rng),
+            temperature=TemperatureSensor(rng=rng),
+            wind=WindSensor(rng=rng),
+        )

@@ -1,0 +1,244 @@
+"""The UAV agent: dynamics + battery + sensors + flight-mode logic.
+
+Each UAV follows a waypoint plan, publishes telemetry on the ROS-like bus,
+and obeys flight-mode commands that the ConSert layer issues (continue
+mission / hold position / return to base / emergency land) — the guarantee
+vocabulary of the paper's Fig. 1 UAV ConSert.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo import EnuFrame
+from repro.middleware.rosbus import RosBus
+from repro.uav.battery import Battery, BatterySpec
+from repro.uav.dynamics import UavDynamics, WaypointPlan
+from repro.uav.sensors import GpsFix, SensorSuite
+
+
+class FlightMode(enum.Enum):
+    """Flight modes matching the UAV ConSert guarantee set (Fig. 1)."""
+
+    IDLE = "idle"
+    MISSION = "mission"
+    HOLD = "hold"
+    RETURN_TO_BASE = "return_to_base"
+    EMERGENCY_LAND = "emergency_land"
+    GUIDED = "guided"  # externally commanded setpoints (collaborative landing)
+    LANDED = "landed"
+
+
+@dataclass(frozen=True)
+class UavSpec:
+    """Static description of one airframe."""
+
+    uav_id: str
+    rotor_count: int = 4
+    base_position: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    battery_spec: BatterySpec = field(default_factory=BatterySpec)
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """One telemetry sample published on ``/<uav_id>/telemetry``."""
+
+    uav_id: str
+    stamp: float
+    mode: str
+    position_enu: tuple[float, float, float]
+    velocity_enu: tuple[float, float, float]
+    gps: GpsFix
+    imu_velocity: tuple[float, float, float]
+    battery_soc: float
+    battery_temp_c: float
+    camera_health: float
+    wind_mps: float
+
+
+@dataclass
+class Uav:
+    """A simulated UAV wired to the shared bus.
+
+    The vehicle believes its navigation solution (``nav_position``), which
+    is normally the GPS fix converted to ENU — meaning a spoofed GPS pulls
+    the *believed* position away from truth, and the waypoint controller
+    then physically drags the vehicle off course, reproducing the Fig. 6
+    trajectory deviation.
+    """
+
+    spec: UavSpec
+    frame: EnuFrame
+    bus: RosBus
+    rng: np.random.Generator
+    dynamics: UavDynamics = None  # type: ignore[assignment]
+    battery: Battery = None  # type: ignore[assignment]
+    sensors: SensorSuite = None  # type: ignore[assignment]
+    plan: WaypointPlan = field(default_factory=WaypointPlan)
+    mode: FlightMode = FlightMode.IDLE
+    guided_setpoint: tuple[float, float, float] | None = None
+    use_external_nav: bool = False
+    external_nav_position: tuple[float, float, float] | None = None
+    telemetry_rate_hz: float = 2.0
+    # Motors reported failed by the flight controller (fault injection
+    # increments this; SafeDrones' propulsion model consumes it).
+    motors_failed: int = 0
+    _last_telemetry: float = field(default=-1e9, repr=False)
+    trajectory: list[tuple[float, float, float]] = field(default_factory=list)
+    believed_trajectory: list[tuple[float, float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dynamics is None:
+            self.dynamics = UavDynamics(position=self.spec.base_position)
+        if self.battery is None:
+            self.battery = Battery(spec=self.spec.battery_spec)
+        if self.sensors is None:
+            self.sensors = SensorSuite.create(self.frame, self.rng)
+
+    # ------------------------------------------------------------------ nav
+    def nav_position(self, now: float) -> tuple[float, float, float]:
+        """The position the flight controller believes, in ENU metres.
+
+        Order of precedence: external navigation (collaborative
+        localization), valid GPS, dead-reckoned last belief.
+        """
+        if self.use_external_nav and self.external_nav_position is not None:
+            return self.external_nav_position
+        fix = self.sensors.gps.measure(self.dynamics.position, now)
+        if fix.valid:
+            return self.frame.to_enu(fix.point)
+        if self.believed_trajectory:
+            return self.believed_trajectory[-1]
+        return self.dynamics.position
+
+    # ---------------------------------------------------------------- modes
+    def start_mission(self, waypoints: list[tuple[float, float, float]]) -> None:
+        """Load a waypoint plan and enter MISSION mode."""
+        self.plan.replace(waypoints)
+        self.mode = FlightMode.MISSION
+
+    def command_mode(self, mode: FlightMode) -> None:
+        """Apply a flight-mode command from the assurance layer."""
+        self.mode = mode
+
+    def command_guided_setpoint(self, setpoint: tuple[float, float, float]) -> None:
+        """Enter GUIDED mode flying to an externally supplied setpoint."""
+        self.mode = FlightMode.GUIDED
+        self.guided_setpoint = setpoint
+
+    # ----------------------------------------------------------------- step
+    def _target_for_mode(self, believed: tuple[float, float, float]) -> tuple[float, float, float] | None:
+        # The flight controller only sees its believed position, so every
+        # navigated mode steers in belief space: the physical vehicle flies
+        # toward target + (truth - belief), which reproduces how a wrong
+        # belief (spoofed GPS, CL error) physically displaces the vehicle.
+        def belief_corrected(target: tuple[float, float, float]) -> tuple[float, float, float]:
+            err = tuple(b - t for b, t in zip(believed, self.dynamics.position))
+            return tuple(w - e for w, e in zip(target, err))
+
+        if self.mode is FlightMode.MISSION:
+            target = self.plan.active
+            if target is None:
+                return None
+            return belief_corrected(target)
+        if self.mode is FlightMode.RETURN_TO_BASE:
+            return belief_corrected(self.spec.base_position)
+        if self.mode is FlightMode.EMERGENCY_LAND:
+            # Vertical descent in place needs no navigation solution.
+            pos = self.dynamics.position
+            return (pos[0], pos[1], 0.0)
+        if self.mode is FlightMode.GUIDED and self.guided_setpoint is not None:
+            return belief_corrected(self.guided_setpoint)
+        return None  # IDLE / HOLD / LANDED hover in place
+
+    def step(
+        self,
+        dt: float,
+        now: float,
+        ambient_c: float = 25.0,
+        wind_mps: float = 0.0,
+        extra_draw_w: float = 0.0,
+    ) -> None:
+        """Advance the vehicle by one simulation step and publish telemetry.
+
+        ``extra_draw_w`` adds environment-driven load (e.g. fighting wind)
+        on top of the mode-dependent baseline draw.
+        """
+        believed = self.nav_position(now)
+        self.believed_trajectory.append(believed)
+
+        target = self._target_for_mode(believed)
+        if self.mode in (FlightMode.IDLE, FlightMode.LANDED):
+            self.dynamics.velocity = (0.0, 0.0, 0.0)
+        else:
+            self.dynamics.step_toward(target, dt)
+            if self.dynamics.position[2] < 0.0:
+                # Ground contact: clamp altitude and kill vertical speed.
+                east, north, _ = self.dynamics.position
+                veast, vnorth, _ = self.dynamics.velocity
+                self.dynamics.position = (east, north, 0.0)
+                self.dynamics.velocity = (veast, vnorth, 0.0)
+        self.trajectory.append(self.dynamics.position)
+
+        if self.mode is FlightMode.MISSION:
+            self.plan.advance_if_captured(believed)
+            if self.plan.complete:
+                self.mode = FlightMode.RETURN_TO_BASE
+        if self.mode in (FlightMode.EMERGENCY_LAND, FlightMode.GUIDED, FlightMode.RETURN_TO_BASE):
+            # Touchdown: on the ground and not climbing. Horizontal speed is
+            # ignored — belief noise can command small lateral corrections
+            # right up to ground contact.
+            if self.dynamics.position[2] <= 0.05 and self.dynamics.velocity[2] <= 0.2:
+                if self.mode is not FlightMode.RETURN_TO_BASE or self._near_base():
+                    self.mode = FlightMode.LANDED
+
+        draw = self._power_draw()
+        if self.mode not in (FlightMode.IDLE, FlightMode.LANDED):
+            draw += max(0.0, extra_draw_w)
+        self.battery.step(dt, now, draw, ambient_c)
+        self.sensors.camera.step(dt)
+
+        if now - self._last_telemetry >= 1.0 / self.telemetry_rate_hz:
+            self._last_telemetry = now
+            self.publish_telemetry(now, wind_mps)
+
+    def _near_base(self) -> bool:
+        ground = math.dist(self.dynamics.position[:2], self.spec.base_position[:2])
+        return ground < 3.0
+
+    def _power_draw(self) -> float:
+        spec = self.battery.spec
+        if self.mode in (FlightMode.IDLE, FlightMode.LANDED):
+            return spec.idle_draw_w
+        if self.dynamics.speed_mps > 1.0:
+            return spec.cruise_draw_w
+        return spec.hover_draw_w
+
+    # ------------------------------------------------------------ telemetry
+    def publish_telemetry(self, now: float, wind_mps: float = 0.0) -> Telemetry:
+        """Sample all sensors and publish a Telemetry record on the bus."""
+        fix = self.sensors.gps.measure(self.dynamics.position, now)
+        sample = Telemetry(
+            uav_id=self.spec.uav_id,
+            stamp=now,
+            mode=self.mode.value,
+            position_enu=self.frame.to_enu(fix.point) if fix.valid else self.dynamics.position,
+            velocity_enu=self.dynamics.velocity,
+            gps=fix,
+            imu_velocity=self.sensors.imu.measure(self.dynamics.ground_velocity),
+            battery_soc=self.battery.soc,
+            battery_temp_c=self.sensors.temperature.measure(self.battery.temp_c),
+            camera_health=self.sensors.camera.health,
+            wind_mps=self.sensors.wind.measure(wind_mps),
+        )
+        self.bus.publish(
+            topic=f"/{self.spec.uav_id}/telemetry",
+            data=sample,
+            sender=self.spec.uav_id,
+            stamp=now,
+        )
+        return sample

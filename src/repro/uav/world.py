@@ -1,0 +1,112 @@
+"""Simulation world: terrain extent, persons to find, environment, fleet.
+
+The world steps every UAV and attacker with a fixed ``dt``, keeps the bus
+clock coherent, and owns ground truth (person locations) that the SAR
+detection models sample against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo import EnuFrame, GeoPoint
+from repro.middleware.attacks import Attacker
+from repro.uav.environment import Environment
+from repro.middleware.rosbus import RosBus
+from repro.uav.uav import Uav
+
+
+@dataclass
+class Person:
+    """A person on the ground awaiting rescue (ground truth)."""
+
+    person_id: str
+    position: tuple[float, float]  # ENU east/north, metres (on the ground)
+    detected: bool = False
+    detected_by: str | None = None
+    detected_at: float | None = None
+
+
+@dataclass
+class World:
+    """Container stepping the fleet, environment, and attacks together."""
+
+    frame: EnuFrame = field(
+        default_factory=lambda: EnuFrame(origin=GeoPoint(35.1456, 33.4299, 0.0))
+    )
+    bus: RosBus = field(default_factory=RosBus)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    area_size_m: tuple[float, float] = (400.0, 300.0)
+    ambient_c: float = 25.0
+    wind_mps: float = 2.0
+    # Optional dynamic environment; when set it overrides the static
+    # ambient_c / wind_mps fields and physically drifts airborne UAVs.
+    environment: Environment | None = None
+    uavs: dict[str, Uav] = field(default_factory=dict)
+    persons: list[Person] = field(default_factory=list)
+    attackers: list[Attacker] = field(default_factory=list)
+    time: float = 0.0
+    dt: float = 0.5
+
+    def add_uav(self, uav: Uav) -> Uav:
+        """Register a UAV with the world."""
+        self.uavs[uav.spec.uav_id] = uav
+        return uav
+
+    def add_attacker(self, attacker: Attacker) -> Attacker:
+        """Register a scripted attacker stepped alongside the fleet."""
+        self.attackers.append(attacker)
+        return attacker
+
+    def scatter_persons(self, count: int) -> list[Person]:
+        """Place ``count`` persons uniformly at random in the search area."""
+        persons = []
+        for i in range(count):
+            east = float(self.rng.uniform(0.0, self.area_size_m[0]))
+            north = float(self.rng.uniform(0.0, self.area_size_m[1]))
+            persons.append(Person(person_id=f"person-{i}", position=(east, north)))
+        self.persons.extend(persons)
+        return persons
+
+    def step(self) -> float:
+        """Advance the whole world by ``dt``; returns the new time."""
+        self.time += self.dt
+        self.bus.advance_clock(self.time)
+        for attacker in self.attackers:
+            attacker.step(self.time)
+        if self.environment is not None:
+            self.environment.step(self.dt, self.time)
+            ambient = self.environment.ambient_temperature_c
+            wind = self.environment.current_wind_mps
+        else:
+            ambient, wind = self.ambient_c, self.wind_mps
+        for uav in self.uavs.values():
+            extra = (
+                self.environment.extra_power_draw_w(uav.battery.spec.cruise_draw_w)
+                if self.environment is not None
+                else 0.0
+            )
+            uav.step(
+                self.dt, self.time, ambient_c=ambient, wind_mps=wind,
+                extra_draw_w=extra,
+            )
+            if self.environment is not None:
+                self.environment.apply_wind_drift(uav.dynamics, self.dt)
+        return self.time
+
+    def run_until(self, t_end: float, callback=None) -> None:
+        """Step until simulation time reaches ``t_end``.
+
+        ``callback(world)``, if given, runs after every step — the hook the
+        EDDI runtime and experiment drivers use to observe and react.
+        """
+        while self.time < t_end:
+            self.step()
+            if callback is not None:
+                callback(self)
+
+    def undetected_persons(self) -> list[Person]:
+        """Persons not yet found by any UAV."""
+        return [p for p in self.persons if not p.detected]

@@ -1,0 +1,133 @@
+"""Unit tests for the safety-security co-engineering bridge."""
+
+import pytest
+
+from repro.core.coengineering import (
+    CoEngineeringMonitor,
+    DependabilityLevel,
+    SecurityInformedEvent,
+)
+from repro.middleware.rosbus import RosBus
+from repro.safedrones.fta import FaultTree, OrGate, BasicEvent, ComplexBasicEvent
+from repro.safedrones.monitor import SafeDronesMonitor
+from repro.security.attack_trees import ros_spoofing_attack_tree
+from repro.security.broker import MqttBroker
+from repro.security.eddi import SecurityEddi
+from repro.security.ids import IntrusionDetectionSystem
+
+
+def make_monitors():
+    bus = RosBus()
+    broker = MqttBroker()
+    ids = IntrusionDetectionSystem(bus=bus, broker=broker)
+    for node in ("uav1", "gcs"):
+        ids.register_node(node)
+    safety = SafeDronesMonitor(uav_id="uav1")
+    security = SecurityEddi(tree=ros_spoofing_attack_tree(), broker=broker)
+    return bus, ids, safety, security
+
+
+class TestSecurityInformedEvent:
+    def test_zero_when_no_attack(self):
+        event = SecurityInformedEvent("attack", ros_spoofing_attack_tree())
+        assert event.failure_probability == 0.0
+
+    def test_partial_progress_contributes(self):
+        tree = ros_spoofing_attack_tree()
+        tree.mark_achieved("inject_messages")
+        event = SecurityInformedEvent("attack", tree)
+        assert 0.0 < event.failure_probability < event.success_given_goal
+
+    def test_goal_reached_yields_full_conditional(self):
+        tree = ros_spoofing_attack_tree()
+        tree.mark_achieved("network_intrusion")
+        tree.mark_achieved("inject_messages")
+        event = SecurityInformedEvent("attack", tree, success_given_goal=0.8)
+        assert event.failure_probability == pytest.approx(0.8)
+
+    def test_rejects_bad_conditional(self):
+        with pytest.raises(ValueError):
+            SecurityInformedEvent("a", ros_spoofing_attack_tree(), success_given_goal=1.5)
+
+    def test_composes_into_fault_tree(self):
+        tree = ros_spoofing_attack_tree()
+        loss = FaultTree(
+            name="uav_loss",
+            top=OrGate(
+                "loss",
+                [
+                    BasicEvent("battery", 0.05),
+                    ComplexBasicEvent(
+                        "cyber", SecurityInformedEvent("attack", tree)
+                    ),
+                ],
+            ),
+        )
+        baseline = loss.top_event_probability()
+        tree.mark_achieved("network_intrusion")
+        tree.mark_achieved("inject_messages")
+        assert loss.top_event_probability() > baseline
+
+
+class TestCoEngineeringMonitor:
+    def test_healthy_and_clean_is_dependable(self):
+        _, _, safety, security = make_monitors()
+        safety.update(0.0, 0.9, 25.0)
+        monitor = CoEngineeringMonitor(safety=safety, security=security)
+        assessment = monitor.assess(1.0)
+        assert assessment.level is DependabilityLevel.DEPENDABLE
+        assert not assessment.attack_goal_reached
+
+    def test_attack_goal_forces_compromised(self):
+        bus, ids, safety, security = make_monitors()
+        safety.update(0.0, 0.9, 25.0)
+        bus.publish("/uav1/pose", 1, sender="uav1", origin="adversary")
+        ids.scan(0.0)
+        monitor = CoEngineeringMonitor(safety=safety, security=security)
+        assessment = monitor.assess(1.0)
+        assert assessment.level is DependabilityLevel.COMPROMISED
+
+    def test_low_reliability_degrades(self):
+        _, _, safety, security = make_monitors()
+        safety.update(0.0, 0.80, 30.0)
+        safety.update(1.0, 0.40, 85.0)  # fault
+        for t in range(2, 1500, 5):
+            assessment = safety.update(float(t), 0.35, 85.0)
+            if assessment.level.value == "low":
+                break
+        monitor = CoEngineeringMonitor(safety=safety, security=security)
+        assert monitor.assess(2000.0).level is DependabilityLevel.DEGRADED
+
+    def test_medium_reliability_with_attack_progress_degrades(self):
+        _, _, safety, security = make_monitors()
+        safety.update(0.0, 0.80, 30.0)
+        safety.update(1.0, 0.40, 85.0)
+        # Drive PoF into the MEDIUM band.
+        assessment = None
+        for t in range(2, 1500, 5):
+            assessment = safety.update(float(t), 0.35, 85.0)
+            if assessment.level.value == "medium":
+                break
+        assert assessment.level.value == "medium"
+        security.tree.mark_achieved("inject_messages")  # partial attack
+        monitor = CoEngineeringMonitor(safety=safety, security=security)
+        assert monitor.assess(t + 1.0).level is DependabilityLevel.DEGRADED
+
+    def test_combined_pof_at_least_safety_pof(self):
+        _, _, safety, security = make_monitors()
+        safety.update(0.0, 0.9, 25.0)
+        safety.update(100.0, 0.9, 25.0)
+        monitor = CoEngineeringMonitor(safety=safety, security=security)
+        assessment = monitor.assess(101.0)
+        assert (
+            assessment.combined_failure_probability
+            >= safety.latest.failure_probability - 1e-12
+        )
+
+    def test_history_accumulates(self):
+        _, _, safety, security = make_monitors()
+        safety.update(0.0, 0.9, 25.0)
+        monitor = CoEngineeringMonitor(safety=safety, security=security)
+        monitor.assess(1.0)
+        monitor.assess(2.0)
+        assert len(monitor.history) == 2

@@ -1,0 +1,139 @@
+"""Unit tests for communication-based localization (RF multilateration)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.localization.comm import (
+    CommLocalizationService,
+    CommLocalizer,
+    RangeMeasurement,
+    RfRangingModel,
+)
+
+ANCHORS = {
+    "uav2": (0.0, 0.0, 30.0),
+    "uav3": (100.0, 0.0, 25.0),
+    "gcs": (50.0, 120.0, 2.0),
+    "relay": (-40.0, 80.0, 15.0),
+}
+TARGET = (40.0, 50.0, 20.0)
+
+
+def measure_all(rng_seed=0, anchors=None, sigma=0.3):
+    rng = np.random.default_rng(rng_seed)
+    model = RfRangingModel(rng=rng, base_sigma_m=sigma)
+    out = []
+    for anchor_id, anchor in (anchors or ANCHORS).items():
+        m = model.measure(anchor_id, anchor, TARGET, now=1.0)
+        assert m is not None
+        out.append(m)
+    return out
+
+
+class TestRfRangingModel:
+    def test_unbiased_within_noise(self):
+        rng = np.random.default_rng(0)
+        model = RfRangingModel(rng=rng)
+        truth = math.dist(ANCHORS["uav2"], TARGET)
+        ranges = [
+            model.measure("uav2", ANCHORS["uav2"], TARGET, 0.0).range_m
+            for _ in range(300)
+        ]
+        assert np.mean(ranges) == pytest.approx(truth, abs=0.2)
+
+    def test_sigma_grows_with_distance(self):
+        rng = np.random.default_rng(0)
+        model = RfRangingModel(rng=rng)
+        near = model.measure("a", (0, 0, 0), (10.0, 0, 0), 0.0)
+        far = model.measure("a", (0, 0, 0), (250.0, 0, 0), 0.0)
+        assert far.sigma_m > near.sigma_m
+
+    def test_out_of_budget_link_fails(self):
+        rng = np.random.default_rng(0)
+        model = RfRangingModel(rng=rng, max_range_m=100.0)
+        assert model.measure("a", (0, 0, 0), (200.0, 0, 0), 0.0) is None
+
+    def test_coincident_positions_fail(self):
+        rng = np.random.default_rng(0)
+        model = RfRangingModel(rng=rng)
+        assert model.measure("a", TARGET, TARGET, 0.0) is None
+
+
+class TestCommLocalizer:
+    def test_four_anchor_solve_accuracy(self):
+        # The anchors are nearly coplanar (poor vertical geometry), so the
+        # altitude prior carries the vertical axis, as in deployment.
+        solver = CommLocalizer()
+        errors = []
+        for seed in range(20):
+            fix = solver.solve(
+                measure_all(seed), initial_guess=(0.0, 0.0, 0.0), altitude_prior=20.0
+            )
+            assert fix.converged
+            errors.append(math.dist(fix.enu, TARGET))
+        assert np.mean(errors) < 1.0
+
+    def test_three_anchors_need_altitude_prior(self):
+        solver = CommLocalizer()
+        three = measure_all()[:3]
+        fix = solver.solve(three, initial_guess=(30.0, 30.0, 15.0), altitude_prior=20.0)
+        assert fix is not None
+        assert math.dist(fix.enu, TARGET) < 4.0
+
+    def test_too_few_anchors_returns_none(self):
+        solver = CommLocalizer()
+        assert solver.solve(measure_all()[:2], initial_guess=(0, 0, 0)) is None
+
+    def test_duplicate_anchor_measurements_deduplicated(self):
+        solver = CommLocalizer()
+        measurements = measure_all()[:2]
+        # Same anchor twice does not count as a third anchor.
+        measurements.append(measurements[0])
+        assert solver.solve(measurements, initial_guess=(0, 0, 0)) is None
+
+    def test_residual_reflects_noise_scale(self):
+        solver = CommLocalizer()
+        clean = solver.solve(measure_all(sigma=0.05), (0, 0, 0))
+        noisy = solver.solve(measure_all(sigma=3.0, rng_seed=1), (0, 0, 0))
+        assert clean.residual_rms_m < noisy.residual_rms_m
+
+
+class TestCommLocalizationService:
+    def test_continuous_tracking(self):
+        rng = np.random.default_rng(5)
+        service = CommLocalizationService(
+            target_id="uav1", ranging=RfRangingModel(rng=rng)
+        )
+        errors = []
+        for k in range(20):
+            now = k * 0.5
+            target = (40.0 + 0.5 * now, 50.0, 20.0)
+            fix = service.update(now, ANCHORS, target, altitude_prior=20.0)
+            if fix is not None and k > 2:
+                errors.append(math.dist(fix.enu, target))
+        assert errors
+        assert np.mean(errors) < 1.5
+
+    def test_link_ok_requires_three_anchors(self):
+        rng = np.random.default_rng(5)
+        service = CommLocalizationService(
+            target_id="uav1", ranging=RfRangingModel(rng=rng)
+        )
+        assert not service.link_ok
+        service.update(0.0, dict(list(ANCHORS.items())[:2]), TARGET)
+        assert not service.link_ok
+        service.update(0.1, ANCHORS, TARGET)
+        assert service.link_ok
+
+    def test_window_expires_stale_measurements(self):
+        rng = np.random.default_rng(5)
+        service = CommLocalizationService(
+            target_id="uav1", ranging=RfRangingModel(rng=rng), window_s=1.0
+        )
+        service.update(0.0, ANCHORS, TARGET)
+        assert service.measurements
+        service.update(10.0, {}, TARGET)
+        assert not service.measurements
+        assert not service.link_ok

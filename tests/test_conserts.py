@@ -1,0 +1,192 @@
+"""Unit tests for the ConSert model and its composition semantics."""
+
+import pytest
+
+from repro.core.conserts import (
+    AndNode,
+    ConSert,
+    Demand,
+    Guarantee,
+    OrNode,
+    RuntimeEvidence,
+)
+
+
+def provider_consert(offering=True):
+    ev = RuntimeEvidence("provider_ok", offering)
+    return (
+        ConSert(
+            name="provider",
+            guarantees=[
+                Guarantee("service_ok", AndNode([ev])),
+                Guarantee("service_degraded", None),
+            ],
+        ),
+        ev,
+    )
+
+
+class TestRuntimeEvidence:
+    def test_set_and_read(self):
+        ev = RuntimeEvidence("x")
+        assert not ev.satisfied()
+        ev.set(True)
+        assert ev.satisfied()
+
+    def test_set_coerces_to_bool(self):
+        ev = RuntimeEvidence("x")
+        ev.set(1)
+        assert ev.value is True
+
+
+class TestGates:
+    def test_and_node(self):
+        a, b = RuntimeEvidence("a", True), RuntimeEvidence("b", False)
+        assert not AndNode([a, b]).satisfied()
+        b.set(True)
+        assert AndNode([a, b]).satisfied()
+
+    def test_or_node(self):
+        a, b = RuntimeEvidence("a", False), RuntimeEvidence("b", False)
+        assert not OrNode([a, b]).satisfied()
+        a.set(True)
+        assert OrNode([a, b]).satisfied()
+
+    def test_nested_gates(self):
+        a = RuntimeEvidence("a", True)
+        b = RuntimeEvidence("b", False)
+        c = RuntimeEvidence("c", True)
+        tree = AndNode([a, OrNode([b, c])])
+        assert tree.satisfied()
+
+
+class TestDemand:
+    def test_satisfied_by_bound_provider(self):
+        provider, _ = provider_consert(offering=True)
+        demand = Demand("d", frozenset({"service_ok"}))
+        assert not demand.satisfied()  # unbound
+        demand.bind(provider)
+        assert demand.satisfied()
+
+    def test_unsatisfied_when_provider_degrades(self):
+        provider, ev = provider_consert(offering=True)
+        demand = Demand("d", frozenset({"service_ok"})).bind(provider)
+        ev.set(False)
+        assert not demand.satisfied()
+
+    def test_accepts_alternative_guarantees(self):
+        provider, ev = provider_consert(offering=False)
+        demand = Demand("d", frozenset({"service_ok", "service_degraded"})).bind(provider)
+        assert demand.satisfied()  # degraded is also acceptable
+
+    def test_any_of_multiple_providers(self):
+        p1, ev1 = provider_consert(offering=False)
+        p2, _ = provider_consert(offering=True)
+        demand = Demand("d", frozenset({"service_ok"}))
+        demand.bind(p1).bind(p2)
+        assert demand.satisfied()
+
+
+class TestConSert:
+    def test_strongest_guarantee_wins(self):
+        strong_ev = RuntimeEvidence("strong", True)
+        consert = ConSert(
+            name="c",
+            guarantees=[
+                Guarantee("strong", AndNode([strong_ev])),
+                Guarantee("weak", None),
+            ],
+        )
+        assert consert.evaluate().name == "strong"
+        strong_ev.set(False)
+        assert consert.evaluate().name == "weak"
+
+    def test_default_guarantee_always_offered(self):
+        consert = ConSert(name="c", guarantees=[Guarantee("default", None)])
+        assert consert.evaluate().name == "default"
+
+    def test_no_satisfiable_guarantee_returns_none(self):
+        consert = ConSert(
+            name="c",
+            guarantees=[Guarantee("only", AndNode([RuntimeEvidence("e", False)]))],
+        )
+        assert consert.evaluate() is None
+
+    def test_ranks_assigned_in_order(self):
+        consert = ConSert(
+            name="c",
+            guarantees=[Guarantee("a", None), Guarantee("b", None)],
+        )
+        assert [g.rank for g in consert.guarantees] == [0, 1]
+
+    def test_add_guarantee_appends_weakest(self):
+        consert = ConSert(name="c", guarantees=[Guarantee("a", None)])
+        added = consert.add_guarantee(Guarantee("z", None))
+        assert added.rank == 1
+        assert consert.guarantee_names() == ["a", "z"]
+
+    def test_evidence_nodes_enumeration(self):
+        a, b = RuntimeEvidence("a"), RuntimeEvidence("b")
+        consert = ConSert(
+            name="c",
+            guarantees=[Guarantee("g", AndNode([a, OrNode([b])]))],
+        )
+        assert {e.name for e in consert.evidence_nodes()} == {"a", "b"}
+
+    def test_evidence_by_name(self):
+        a = RuntimeEvidence("a")
+        consert = ConSert(name="c", guarantees=[Guarantee("g", AndNode([a]))])
+        assert consert.evidence_by_name("a") is a
+        with pytest.raises(KeyError):
+            consert.evidence_by_name("zzz")
+
+    def test_demand_nodes_enumeration(self):
+        provider, _ = provider_consert()
+        demand = Demand("d", frozenset({"service_ok"})).bind(provider)
+        consert = ConSert(name="c", guarantees=[Guarantee("g", AndNode([demand]))])
+        assert consert.demand_nodes() == [demand]
+
+    def test_shared_evidence_not_duplicated(self):
+        a = RuntimeEvidence("a")
+        consert = ConSert(
+            name="c",
+            guarantees=[
+                Guarantee("g1", AndNode([a])),
+                Guarantee("g2", OrNode([a])),
+            ],
+        )
+        assert len(consert.evidence_nodes()) == 1
+
+    def test_three_level_composition(self):
+        # sensor -> localization -> navigation chain re-evaluates live.
+        sensor_ev = RuntimeEvidence("sensor_ok", True)
+        sensor = ConSert(
+            "sensor",
+            guarantees=[
+                Guarantee("sensor_ok", AndNode([sensor_ev])),
+                Guarantee("sensor_bad", None),
+            ],
+        )
+        localization = ConSert(
+            "loc",
+            guarantees=[
+                Guarantee(
+                    "loc_ok",
+                    AndNode([Demand("s", frozenset({"sensor_ok"})).bind(sensor)]),
+                ),
+                Guarantee("loc_bad", None),
+            ],
+        )
+        navigation = ConSert(
+            "nav",
+            guarantees=[
+                Guarantee(
+                    "nav_ok",
+                    AndNode([Demand("l", frozenset({"loc_ok"})).bind(localization)]),
+                ),
+                Guarantee("nav_bad", None),
+            ],
+        )
+        assert navigation.evaluate().name == "nav_ok"
+        sensor_ev.set(False)
+        assert navigation.evaluate().name == "nav_bad"

@@ -1,0 +1,117 @@
+"""Targeted tests for remaining coverage gaps across the library."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core.ode import consert_from_dict, conserts_to_dict
+from repro.core.conserts import AndNode, ConSert, Demand, Guarantee
+from repro.safedrones.fta import ComplexBasicEvent, FaultTree, OrGate, BasicEvent
+from repro.safedrones.importance import importance_analysis
+
+
+@dataclass
+class MutableModel:
+    """Test double with a settable failure probability."""
+
+    failure_probability: float = 0.3
+
+
+class TestImportanceWithComplexEvents:
+    def test_complex_event_pinning_and_restoration(self):
+        model = MutableModel(0.3)
+        tree = FaultTree(
+            "t",
+            top=OrGate(
+                "top",
+                [ComplexBasicEvent("dynamic", model), BasicEvent("static", 0.1)],
+            ),
+        )
+        before = tree.top_event_probability()
+        reports = {r.event: r for r in importance_analysis(tree)}
+        # OR gate: Birnbaum of 'dynamic' = 1 - p(static) = 0.9.
+        assert reports["dynamic"].birnbaum == pytest.approx(0.9)
+        # The live model is restored after the what-if evaluation.
+        assert tree.top_event_probability() == pytest.approx(before)
+        model.failure_probability = 0.7
+        assert tree.top_event_probability() > before
+
+
+class TestOdeUnboundProviders:
+    def test_unknown_provider_left_unbound(self):
+        provider = ConSert("elsewhere", guarantees=[Guarantee("ok", None)])
+        consumer = ConSert(
+            "consumer",
+            guarantees=[
+                Guarantee(
+                    "go",
+                    AndNode(
+                        [Demand("d", frozenset({"ok"}), providers=[provider])]
+                    ),
+                ),
+                Guarantee("stop", None),
+            ],
+        )
+        data = conserts_to_dict(consumer)
+        # Rebuild WITHOUT the provider in scope: the demand must survive
+        # unbound (integrator binds it later), falling back meanwhile.
+        rebuilt = consert_from_dict(data, providers={})
+        assert rebuilt.evaluate().name == "stop"
+        demand = rebuilt.demand_nodes()[0]
+        assert demand.providers == []
+        # Late binding restores the strong guarantee.
+        demand.bind(provider)
+        assert rebuilt.evaluate().name == "go"
+
+
+class TestCliExperimentPaths:
+    def test_sar_accuracy_command(self, capsys):
+        assert cli_main(["sar-accuracy"]) == 0
+        out = capsys.readouterr().out
+        assert "uncertainty high/final" in out
+        assert "0.99" in out
+
+    def test_fig6_command(self, capsys):
+        assert cli_main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "max trajectory deviation" in out
+        assert "Security EDDI latency" in out
+
+    def test_seed_override(self, capsys):
+        assert cli_main(["fig7", "--seed", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "landing error" in out
+
+
+class TestWebApiLogFeed:
+    def test_log_feed_with_entries(self):
+        from repro.experiments.common import build_three_uav_world
+        from repro.platform.api import WebApi
+        from repro.platform.database import DatabaseManager
+        from repro.platform.gcs import GroundControlStation
+        from repro.platform.uav_manager import UavManager
+
+        scenario = build_three_uav_world(seed=1, n_persons=0)
+        world = scenario.world
+        manager = UavManager(bus=world.bus, database=DatabaseManager())
+        gcs = GroundControlStation(bus=world.bus, uav_manager=manager)
+        gcs.log(1.0, "uav1", "warning", "battery low: 20%")
+        gcs.log(2.0, "gcs", "critical", "spoofing detected")
+        api = WebApi(uav_manager=manager, gcs=gcs)
+        feed = api.log_feed()["logs"]
+        assert len(feed) == 2
+        assert feed[-1]["level"] == "critical"
+
+    def test_feeds_empty_without_components(self):
+        from repro.experiments.common import build_three_uav_world
+        from repro.platform.api import WebApi
+        from repro.platform.database import DatabaseManager
+        from repro.platform.uav_manager import UavManager
+
+        scenario = build_three_uav_world(seed=1, n_persons=0)
+        manager = UavManager(bus=scenario.world.bus, database=DatabaseManager())
+        api = WebApi(uav_manager=manager)
+        assert api.log_feed() == {"logs": []}
+        assert api.alert_feed() == {"alerts": []}
+        assert api.tracks() == {"tracks": {}}

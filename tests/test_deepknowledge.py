@@ -1,0 +1,170 @@
+"""Unit tests for DeepKnowledge: the NumPy network and the analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.deepknowledge.knowledge import (
+    DeepKnowledgeAnalyzer,
+    hellinger_distance,
+)
+from repro.deepknowledge.network import FeedForwardNetwork, TrainConfig
+
+
+def make_blobs(n, separation=3.0, seed=0):
+    """Two-class Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    centers = np.array([[0.0, 0.0], [separation, separation]])
+    x = centers[labels] + rng.normal(0.0, 0.7, size=(n, 2))
+    return x, labels
+
+
+class TestNetwork:
+    def test_rejects_too_few_layers(self):
+        with pytest.raises(ValueError):
+            FeedForwardNetwork([4])
+
+    def test_predict_proba_normalised(self):
+        net = FeedForwardNetwork([2, 8, 2])
+        x, _ = make_blobs(20)
+        probs = net.predict_proba(x)
+        assert probs.shape == (20, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0.0).all()
+
+    def test_training_reduces_loss(self):
+        net = FeedForwardNetwork([2, 16, 2])
+        x, y = make_blobs(300)
+        losses = net.train(x, y, TrainConfig(epochs=15))
+        assert losses[-1] < losses[0]
+
+    def test_learns_separable_blobs(self):
+        net = FeedForwardNetwork([2, 16, 2])
+        x, y = make_blobs(400)
+        net.train(x, y, TrainConfig(epochs=25))
+        assert net.accuracy(x, y) > 0.95
+
+    def test_rejects_out_of_range_labels(self):
+        net = FeedForwardNetwork([2, 8, 2])
+        x, _ = make_blobs(10)
+        with pytest.raises(ValueError):
+            net.train(x, np.full(10, 5))
+
+    def test_activation_trace_shape(self):
+        net = FeedForwardNetwork([2, 8, 4, 2])
+        x, _ = make_blobs(15)
+        trace = net.activation_trace(x)
+        assert trace.shape == (15, 12)  # 8 + 4 hidden units
+
+    def test_activation_trace_nonnegative_relu(self):
+        net = FeedForwardNetwork([2, 8, 2])
+        x, _ = make_blobs(15)
+        assert (net.activation_trace(x) >= 0.0).all()
+
+    def test_deterministic_given_seed(self):
+        x, y = make_blobs(100)
+        nets = []
+        for _ in range(2):
+            net = FeedForwardNetwork([2, 8, 2], rng=np.random.default_rng(5))
+            net.train(x, y, TrainConfig(epochs=3))
+            nets.append(net.predict_proba(x))
+        assert np.allclose(nets[0], nets[1])
+
+
+class TestHellinger:
+    def test_identical_is_zero(self):
+        p = np.array([0.25, 0.75])
+        assert hellinger_distance(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        assert hellinger_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p = np.array([0.2, 0.8])
+        q = np.array([0.6, 0.4])
+        assert hellinger_distance(p, q) == pytest.approx(hellinger_distance(q, p))
+
+    def test_rejects_mismatched_support(self):
+        with pytest.raises(ValueError):
+            hellinger_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_normalises_unnormalised_histograms(self):
+        raw = np.array([10, 30])
+        norm = np.array([0.25, 0.75])
+        assert hellinger_distance(raw, norm) == pytest.approx(0.0, abs=1e-12)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    x_train, y_train = make_blobs(500, seed=1)
+    x_shift, _ = make_blobs(300, separation=4.5, seed=2)
+    net = FeedForwardNetwork([2, 16, 8, 2], rng=np.random.default_rng(3))
+    net.train(x_train, y_train, TrainConfig(epochs=20))
+    return net, x_train, x_shift
+
+
+class TestAnalyzer:
+    def test_requires_fit(self, trained_setup):
+        net, x_train, _ = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net)
+        with pytest.raises(RuntimeError):
+            analyzer.coverage(x_train)
+        with pytest.raises(RuntimeError):
+            analyzer.uncertainty(x_train)
+
+    def test_selects_requested_fraction(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net, tk_fraction=0.25)
+        tk = analyzer.fit(x_train, x_shift)
+        assert len(tk) == round(0.25 * 24)
+
+    def test_rejects_bad_fraction(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net, tk_fraction=0.0)
+        with pytest.raises(ValueError):
+            analyzer.fit(x_train, x_shift)
+
+    def test_tk_neurons_are_most_stable(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net, tk_fraction=0.25)
+        tk = analyzer.fit(x_train, x_shift)
+        assert all(0.0 <= n.stability <= 1.0 + 1e-9 for n in tk)
+
+    def test_coverage_of_training_data_is_high(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net)
+        analyzer.fit(x_train, x_shift)
+        report = analyzer.coverage(x_train)
+        assert report.score > 0.3
+        assert report.covered_bins <= report.total_bins
+
+    def test_coverage_of_single_point_is_low(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net)
+        analyzer.fit(x_train, x_shift)
+        single = analyzer.coverage(x_train[:1])
+        full = analyzer.coverage(x_train)
+        assert single.score < full.score
+
+    def test_uncertainty_low_in_domain(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net)
+        analyzer.fit(x_train, x_shift)
+        assert analyzer.uncertainty(x_train) < 0.1
+
+    def test_uncertainty_high_out_of_domain(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net)
+        analyzer.fit(x_train, x_shift)
+        far = x_train + 30.0
+        assert analyzer.uncertainty(far) > analyzer.uncertainty(x_train)
+        assert analyzer.uncertainty(far) > 0.2
+
+    def test_uncertainty_bounded(self, trained_setup):
+        net, x_train, x_shift = trained_setup
+        analyzer = DeepKnowledgeAnalyzer(network=net)
+        analyzer.fit(x_train, x_shift)
+        for data in (x_train, x_train + 100.0):
+            assert 0.0 <= analyzer.uncertainty(data) <= 1.0

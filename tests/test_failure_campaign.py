@@ -1,0 +1,148 @@
+"""Failure-injection campaign: the assurance stack under compound faults.
+
+Integration-level resilience tests: inject multiple simultaneous faults
+through the fault framework and verify the EDDI layer reaches the safe
+decision the Fig. 1 logic prescribes for each combination.
+"""
+
+import pytest
+
+from repro.core.eddi import Eddi, MonitorAdapter
+from repro.core.uav_network import UavConSertNetwork, UavGuarantee
+from repro.experiments.common import build_three_uav_world
+from repro.safedrones.monitor import SafeDronesMonitor
+from repro.security.spoofing import GpsSpoofingDetector
+from repro.uav.faults import (
+    FaultSchedule,
+    battery_collapse,
+    camera_degradation,
+    gps_denial,
+    gps_spoof,
+)
+from repro.uav.uav import FlightMode
+
+
+def build_monitored_uav(seed=11):
+    """A UAV with the full adapter stack wired to its ConSert network."""
+    scenario = build_three_uav_world(seed=seed, n_persons=0)
+    world = scenario.world
+    uav = world.uavs["uav1"]
+    network = UavConSertNetwork(uav_id="uav1")
+    network.set_reliability_level("high")
+    safedrones = SafeDronesMonitor(uav_id="uav1")
+    spoof_detector = GpsSpoofingDetector()
+
+    def update(now):
+        assessment = safedrones.update(now, uav.battery.soc, uav.battery.temp_c)
+        network.set_reliability_level(assessment.level.value)
+        fix = uav.sensors.gps.measure(uav.dynamics.position, now)
+        network.set_gps_quality_ok(fix.quality_ok)
+        if fix.valid:
+            verdict = spoof_detector.update(
+                now,
+                world.frame.to_enu(fix.point),
+                uav.sensors.imu.measure(uav.dynamics.velocity),
+                world.dt,
+            )
+            network.set_attack_detected(verdict.spoofed)
+        network.set_camera_healthy(uav.sensors.camera.operational)
+
+    eddi = Eddi(name="uav1", network=network)
+    eddi.add_adapter(MonitorAdapter("stack", update))
+    return world, uav, network, eddi
+
+
+def run_campaign(world, eddi, schedule, until_s, stop_when=None):
+    guarantee = None
+    while world.time < until_s:
+        world.step()
+        schedule.step(world.time, world.uavs)
+        guarantee = eddi.step(world.time)
+        if stop_when is not None and stop_when(guarantee):
+            break
+    return guarantee
+
+
+class TestFailureCampaigns:
+    def test_clean_run_keeps_full_capability(self):
+        world, uav, network, eddi = build_monitored_uav()
+        uav.start_mission([(200.0, 200.0, 20.0)])
+        guarantee = run_campaign(world, eddi, FaultSchedule(), until_s=30.0)
+        assert guarantee is UavGuarantee.CONTINUE_MISSION_EXTRA
+
+    def test_gps_denial_degrades_but_continues(self):
+        world, uav, network, eddi = build_monitored_uav()
+        uav.start_mission([(200.0, 200.0, 20.0)])
+        schedule = FaultSchedule()
+        schedule.add(gps_denial("uav1", at_time=5.0))
+        guarantee = run_campaign(world, eddi, schedule, until_s=30.0)
+        # CL / vision keep the mission going per Fig. 1's fallback ladder.
+        assert guarantee in (
+            UavGuarantee.CONTINUE_MISSION_EXTRA,
+            UavGuarantee.CONTINUE_MISSION,
+        )
+        assert network.navigation_guarantee() != "high_performance_navigation"
+
+    def test_spoof_revokes_gps_navigation(self):
+        world, uav, network, eddi = build_monitored_uav()
+        uav.start_mission([(0.0, 300.0, 20.0)])
+        schedule = FaultSchedule()
+        schedule.add(gps_spoof("uav1", at_time=10.0, offset_m=(40.0, 0.0, 0.0)))
+        run_campaign(world, eddi, schedule, until_s=60.0)
+        assert network.navigation_guarantee() == "collaborative_navigation"
+
+    def test_battery_collapse_eventually_grounds_uav(self):
+        world, uav, network, eddi = build_monitored_uav()
+        uav.start_mission([(0.0, 300.0, 20.0), (50.0, 300.0, 20.0)] * 10)
+        uav.battery.soc = 0.8
+        schedule = FaultSchedule()
+        schedule.add(battery_collapse("uav1", at_time=20.0, soc_drop_to=0.2))
+        eddi.on_guarantee(
+            UavGuarantee.RETURN_TO_BASE,
+            lambda r: uav.command_mode(FlightMode.RETURN_TO_BASE),
+        )
+        eddi.on_guarantee(
+            UavGuarantee.EMERGENCY_LAND,
+            lambda r: uav.command_mode(FlightMode.EMERGENCY_LAND),
+        )
+        guarantee = run_campaign(
+            world, eddi, schedule, until_s=1200.0,
+            stop_when=lambda g: g in (
+                UavGuarantee.RETURN_TO_BASE, UavGuarantee.EMERGENCY_LAND
+            ),
+        )
+        assert guarantee in (
+            UavGuarantee.RETURN_TO_BASE,
+            UavGuarantee.EMERGENCY_LAND,
+        )
+        # The response hook actually changed the flight mode.
+        assert uav.mode in (
+            FlightMode.RETURN_TO_BASE,
+            FlightMode.EMERGENCY_LAND,
+            FlightMode.LANDED,
+        )
+
+    def test_compound_worst_case_forces_emergency_landing(self):
+        world, uav, network, eddi = build_monitored_uav()
+        uav.start_mission([(0.0, 300.0, 20.0)])
+        network.set_nearby_uavs_available(False)  # isolated
+        schedule = FaultSchedule()
+        schedule.add(gps_denial("uav1", at_time=5.0))
+        schedule.add(camera_degradation("uav1", at_time=5.0, rate_per_s=0.2))
+        guarantee = run_campaign(
+            world, eddi, schedule, until_s=60.0,
+            stop_when=lambda g: g is UavGuarantee.EMERGENCY_LAND,
+        )
+        assert guarantee is UavGuarantee.EMERGENCY_LAND
+        assert network.navigation_guarantee() == "navigation_unavailable"
+
+    def test_fault_recovery_restores_guarantee(self):
+        world, uav, network, eddi = build_monitored_uav()
+        uav.start_mission([(200.0, 200.0, 20.0)])
+        schedule = FaultSchedule()
+        schedule.add(gps_denial("uav1", at_time=5.0, duration_s=10.0))
+        run_campaign(world, eddi, schedule, until_s=10.0)
+        degraded_nav = network.navigation_guarantee()
+        run_campaign(world, eddi, schedule, until_s=30.0)
+        assert degraded_nav != "high_performance_navigation"
+        assert network.navigation_guarantee() == "high_performance_navigation"

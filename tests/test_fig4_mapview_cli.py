@@ -1,0 +1,137 @@
+"""Tests for the Fig. 4 demo, the map view, the CLI, and motor failures."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core.decider import MissionVerdict
+from repro.experiments.common import build_three_uav_world
+from repro.experiments.fig4_platform import run_fig4_platform_demo
+from repro.platform.map_view import MapView
+from repro.safedrones.monitor import ReliabilityLevel, SafeDronesMonitor
+from repro.uav.faults import FaultSchedule, motor_failure
+
+
+class TestMapView:
+    def test_renders_frame_and_legend(self):
+        scenario = build_three_uav_world(seed=1, n_persons=3)
+        text = MapView(width=40, height=10).render(scenario.world)
+        lines = text.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert len(lines) == 12 + 1  # frame + rows + legend
+        assert "person found" in lines[-1]
+
+    def test_persons_marked(self):
+        scenario = build_three_uav_world(seed=1, n_persons=4)
+        world = scenario.world
+        world.persons[0].detected = True
+        text = MapView().render(world)
+        assert "O" in text  # found person
+        assert "x" in text  # missing persons
+
+    def test_tracks_drawn_after_flight(self):
+        scenario = build_three_uav_world(seed=1, n_persons=0)
+        world = scenario.world
+        world.uavs["uav1"].start_mission([(50.0, 250.0, 20.0)])
+        for _ in range(80):
+            world.step()
+        text = MapView().render(world)
+        assert "1" in text  # uav1's track glyph
+
+    def test_out_of_area_positions_skipped(self):
+        scenario = build_three_uav_world(seed=1, n_persons=0)
+        world = scenario.world
+        # Bases are south of the area (north < 0); rendering must not fail.
+        text = MapView().render(world)
+        assert text
+
+
+class TestFig4Demo:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return run_fig4_platform_demo(seed=42, n_persons=6, max_time_s=800.0)
+
+    def test_mission_succeeds(self, fig4):
+        assert fig4.metrics.persons_found >= 4
+        assert fig4.metrics.coverage_fraction > 0.8
+
+    def test_all_panels_render(self, fig4):
+        text = fig4.render()
+        assert "MISSION:" in text
+        assert "BATT" in text
+        assert "person found" in text
+
+    def test_healthy_demo_verdict(self, fig4):
+        assert fig4.decision.verdict is MissionVerdict.AS_PLANNED
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4", "fig5", "fig6", "fig7", "sar-accuracy", "conserts"):
+            assert name in out
+
+    def test_conserts_command(self, capsys):
+        assert cli_main(["conserts"]) == 0
+        out = capsys.readouterr().out
+        assert "mission_completed_as_planned" in out
+        assert out.count("\n") == 24
+
+    def test_fig7_command(self, capsys):
+        assert cli_main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "landed" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["nope"])
+
+
+class TestMotorFailureIntegration:
+    def test_fault_increments_counter(self):
+        scenario = build_three_uav_world(seed=2, n_persons=0)
+        world = scenario.world
+        schedule = FaultSchedule()
+        schedule.add(motor_failure("uav1", at_time=3.0))
+        while world.time < 5.0:
+            world.step()
+            schedule.step(world.time, world.uavs)
+        assert world.uavs["uav1"].motors_failed == 1
+
+    def test_monitor_syncs_motor_state_quad(self):
+        # A quadrotor with one motor out is uncontrollable: PoF -> 1.
+        monitor = SafeDronesMonitor(uav_id="u", rotor_count=4)
+        assessment = monitor.update(0.0, 0.9, 25.0, motors_failed=1)
+        assert assessment.propulsion_pof == 1.0
+        assert assessment.level is ReliabilityLevel.LOW
+        assert assessment.abort_recommended
+
+    def test_monitor_syncs_motor_state_hexa(self):
+        # A hexarotor tolerates one failure: elevated but not fatal.
+        monitor = SafeDronesMonitor(uav_id="u", rotor_count=6)
+        clean = monitor.update(0.0, 0.9, 25.0, motors_failed=0)
+        degraded = monitor.update(1.0, 0.9, 25.0, motors_failed=1)
+        assert degraded.propulsion_pof > clean.propulsion_pof
+        assert degraded.propulsion_pof < 0.5
+
+    def test_sync_is_monotonic(self):
+        monitor = SafeDronesMonitor(uav_id="u", rotor_count=8)
+        monitor.update(0.0, 0.9, 25.0, motors_failed=2)
+        # Reporting a lower count later must not resurrect motors.
+        monitor.update(1.0, 0.9, 25.0, motors_failed=1)
+        assert monitor.propulsion.motors_failed == 2
+
+
+class TestExamplesCompile:
+    """Every shipped example must at least be valid Python."""
+
+    def test_all_examples_compile(self):
+        import pathlib
+        import py_compile
+
+        examples = sorted(
+            (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+        )
+        assert len(examples) >= 6
+        for path in examples:
+            py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,133 @@
+"""Unit tests for the geodesy primitives."""
+
+import math
+
+import pytest
+
+from repro.geo import (
+    EARTH_RADIUS_M,
+    EnuFrame,
+    GeoPoint,
+    destination_point,
+    enu_distance,
+    haversine_m,
+    initial_bearing_deg,
+    slant_range_m,
+)
+
+NICOSIA = GeoPoint(35.1856, 33.3823, 0.0)
+LIMASSOL = GeoPoint(34.7071, 33.0226, 0.0)
+
+
+class TestHaversine:
+    def test_zero_distance_to_self(self):
+        assert haversine_m(NICOSIA, NICOSIA) == 0.0
+
+    def test_symmetry(self):
+        assert haversine_m(NICOSIA, LIMASSOL) == pytest.approx(
+            haversine_m(LIMASSOL, NICOSIA)
+        )
+
+    def test_known_distance_nicosia_limassol(self):
+        # Roughly 62 km between the two cities.
+        assert haversine_m(NICOSIA, LIMASSOL) == pytest.approx(62_000, rel=0.05)
+
+    def test_small_displacement_matches_flat_earth(self):
+        # 0.001 deg latitude is ~111.2 m.
+        north = GeoPoint(NICOSIA.lat + 0.001, NICOSIA.lon)
+        assert haversine_m(NICOSIA, north) == pytest.approx(111.2, rel=0.01)
+
+    def test_ignores_altitude(self):
+        high = NICOSIA.with_alt(500.0)
+        assert haversine_m(NICOSIA, high) == 0.0
+
+    def test_antipodal_is_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert haversine_m(a, b) == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-9)
+
+
+class TestSlantRange:
+    def test_pure_vertical(self):
+        assert slant_range_m(NICOSIA, NICOSIA.with_alt(100.0)) == pytest.approx(100.0)
+
+    def test_pythagorean_combination(self):
+        north = GeoPoint(NICOSIA.lat + 0.001, NICOSIA.lon, 50.0)
+        ground = haversine_m(NICOSIA, north)
+        assert slant_range_m(NICOSIA, north) == pytest.approx(
+            math.hypot(ground, 50.0)
+        )
+
+
+class TestBearing:
+    def test_due_north(self):
+        north = GeoPoint(NICOSIA.lat + 0.01, NICOSIA.lon)
+        assert initial_bearing_deg(NICOSIA, north) == pytest.approx(0.0, abs=0.01)
+
+    def test_due_east(self):
+        east = GeoPoint(NICOSIA.lat, NICOSIA.lon + 0.01)
+        assert initial_bearing_deg(NICOSIA, east) == pytest.approx(90.0, abs=0.1)
+
+    def test_due_south(self):
+        south = GeoPoint(NICOSIA.lat - 0.01, NICOSIA.lon)
+        assert initial_bearing_deg(NICOSIA, south) == pytest.approx(180.0, abs=0.01)
+
+    def test_range_is_0_360(self):
+        west = GeoPoint(NICOSIA.lat, NICOSIA.lon - 0.01)
+        bearing = initial_bearing_deg(NICOSIA, west)
+        assert 0.0 <= bearing < 360.0
+        assert bearing == pytest.approx(270.0, abs=0.1)
+
+
+class TestDestinationPoint:
+    def test_roundtrip_distance(self):
+        dest = destination_point(NICOSIA, 45.0, 1000.0)
+        assert haversine_m(NICOSIA, dest) == pytest.approx(1000.0, rel=1e-6)
+
+    def test_roundtrip_bearing(self):
+        dest = destination_point(NICOSIA, 123.0, 5000.0)
+        assert initial_bearing_deg(NICOSIA, dest) == pytest.approx(123.0, abs=0.05)
+
+    def test_zero_distance_is_identity(self):
+        dest = destination_point(NICOSIA, 77.0, 0.0)
+        assert dest.lat == pytest.approx(NICOSIA.lat)
+        assert dest.lon == pytest.approx(NICOSIA.lon)
+
+    def test_altitude_carried_over(self):
+        origin = NICOSIA.with_alt(120.0)
+        dest = destination_point(origin, 10.0, 500.0)
+        assert dest.alt == 120.0
+
+
+class TestEnuFrame:
+    def test_origin_maps_to_zero(self):
+        frame = EnuFrame(origin=NICOSIA)
+        assert frame.to_enu(NICOSIA) == pytest.approx((0.0, 0.0, 0.0))
+
+    def test_roundtrip(self):
+        frame = EnuFrame(origin=NICOSIA)
+        p = frame.to_geo(150.0, -75.0, 30.0)
+        east, north, up = frame.to_enu(p)
+        assert east == pytest.approx(150.0, abs=1e-6)
+        assert north == pytest.approx(-75.0, abs=1e-6)
+        assert up == pytest.approx(30.0, abs=1e-9)
+
+    def test_enu_consistent_with_haversine(self):
+        frame = EnuFrame(origin=NICOSIA)
+        p = frame.to_geo(300.0, 400.0)
+        east, north, _ = frame.to_enu(p)
+        assert haversine_m(NICOSIA, p) == pytest.approx(
+            math.hypot(east, north), rel=1e-4
+        )
+
+    def test_north_displacement(self):
+        frame = EnuFrame(origin=NICOSIA)
+        north_point = GeoPoint(NICOSIA.lat + 0.001, NICOSIA.lon)
+        east, north, _ = frame.to_enu(north_point)
+        assert abs(east) < 1e-9
+        assert north == pytest.approx(111.2, rel=0.01)
+
+
+def test_enu_distance():
+    assert enu_distance((0, 0, 0), (3, 4, 0)) == pytest.approx(5.0)
+    assert enu_distance((1, 1, 1), (1, 1, 1)) == 0.0

@@ -1,0 +1,159 @@
+"""Unit tests for FTA importance measures and quantitative attack-tree
+analysis."""
+
+import pytest
+
+from repro.safedrones.fta import AndGate, BasicEvent, FaultTree, OrGate
+from repro.safedrones.importance import (
+    importance_analysis,
+    most_critical_event,
+)
+from repro.security.analysis import (
+    eavesdrop_replay_attack_tree,
+    gps_spoofing_attack_tree,
+    propagate_likelihood,
+    risk_summary,
+    threat_landscape,
+    uav_threat_library,
+    LIKELIHOOD_SCALE,
+)
+from repro.security.attack_trees import AttackNode, AttackTree, GateType, ros_spoofing_attack_tree
+
+
+def series_parallel_tree():
+    """battery OR (gps AND vision): battery should dominate."""
+    return FaultTree(
+        name="loss",
+        top=OrGate(
+            "top",
+            [
+                BasicEvent("battery", 0.05),
+                AndGate("nav", [BasicEvent("gps", 0.1), BasicEvent("vision", 0.2)]),
+            ],
+        ),
+    )
+
+
+class TestImportance:
+    def test_single_event_birnbaum_is_one(self):
+        tree = FaultTree("t", top=BasicEvent("only", 0.3))
+        report = importance_analysis(tree)[0]
+        assert report.birnbaum == pytest.approx(1.0)
+        assert report.fussell_vesely == pytest.approx(1.0)
+
+    def test_or_gate_birnbaum_closed_form(self):
+        # top = 1 - (1-pa)(1-pb); dI/dpa = 1 - pb.
+        tree = FaultTree(
+            "t", top=OrGate("o", [BasicEvent("a", 0.2), BasicEvent("b", 0.4)])
+        )
+        reports = {r.event: r for r in importance_analysis(tree)}
+        assert reports["a"].birnbaum == pytest.approx(0.6)
+        assert reports["b"].birnbaum == pytest.approx(0.8)
+
+    def test_and_gate_birnbaum_closed_form(self):
+        tree = FaultTree(
+            "t", top=AndGate("a", [BasicEvent("a", 0.2), BasicEvent("b", 0.4)])
+        )
+        reports = {r.event: r for r in importance_analysis(tree)}
+        assert reports["a"].birnbaum == pytest.approx(0.4)
+        assert reports["b"].birnbaum == pytest.approx(0.2)
+
+    def test_series_element_dominates_redundant_pair(self):
+        assert most_critical_event(series_parallel_tree()) == "battery"
+
+    def test_raw_rrw_relationships(self):
+        tree = series_parallel_tree()
+        reports = {r.event: r for r in importance_analysis(tree)}
+        for report in reports.values():
+            assert report.raw >= 1.0
+            assert report.rrw >= 1.0
+        # Removing the dominant single-point failure buys the most.
+        assert reports["battery"].rrw > reports["gps"].rrw
+
+    def test_evaluation_restores_probabilities(self):
+        tree = series_parallel_tree()
+        before = tree.top_event_probability()
+        importance_analysis(tree)
+        assert tree.top_event_probability() == pytest.approx(before)
+
+    def test_criticality_bounded_by_one(self):
+        for report in importance_analysis(series_parallel_tree()):
+            assert 0.0 <= report.criticality <= 1.0
+
+    def test_sorted_by_birnbaum(self):
+        reports = importance_analysis(series_parallel_tree())
+        values = [r.birnbaum for r in reports]
+        assert values == sorted(values, reverse=True)
+
+
+class TestAttackTreeQuantification:
+    def test_leaf_likelihood_from_scale(self):
+        node = AttackNode("x", "t", likelihood="high")
+        assert propagate_likelihood(node) == LIKELIHOOD_SCALE["high"]
+
+    def test_and_multiplies(self):
+        tree = AttackNode(
+            "root", "t", GateType.AND,
+            children=[
+                AttackNode("a", "a", likelihood="high"),
+                AttackNode("b", "b", likelihood="medium"),
+            ],
+        )
+        assert propagate_likelihood(tree) == pytest.approx(0.7 * 0.4)
+
+    def test_or_complement_product(self):
+        tree = AttackNode(
+            "root", "t", GateType.OR,
+            children=[
+                AttackNode("a", "a", likelihood="high"),
+                AttackNode("b", "b", likelihood="medium"),
+            ],
+        )
+        assert propagate_likelihood(tree) == pytest.approx(1 - 0.3 * 0.6)
+
+    def test_unknown_likelihood_rejected(self):
+        node = AttackNode("x", "t", likelihood="sometimes")
+        with pytest.raises(ValueError):
+            propagate_likelihood(node)
+
+    def test_risk_summary_structure(self):
+        summary = risk_summary(ros_spoofing_attack_tree())
+        assert 0.0 < summary.root_likelihood <= 1.0
+        assert summary.risk == pytest.approx(
+            summary.root_likelihood * summary.severity
+        )
+        assert summary.dominant_path[0] == "manipulate_mapping"
+
+    def test_dominant_path_picks_likelier_or_branch(self):
+        summary = risk_summary(ros_spoofing_attack_tree())
+        # network_intrusion (high) beats node_compromise (low).
+        assert "network_intrusion" in summary.dominant_path
+        assert "node_compromise" not in summary.dominant_path
+
+    def test_library_trees_are_well_formed(self):
+        for tree in uav_threat_library():
+            assert tree.leaves()
+            assert 0.0 < propagate_likelihood(tree.root) <= 1.0
+            # JSON round trip preserved.
+            rebuilt = AttackTree.from_json(tree.to_json())
+            assert propagate_likelihood(rebuilt.root) == pytest.approx(
+                propagate_likelihood(tree.root)
+            )
+
+    def test_threat_landscape_sorted_by_risk(self):
+        summaries = threat_landscape(uav_threat_library())
+        risks = [s.risk for s in summaries]
+        assert risks == sorted(risks, reverse=True)
+        assert len(summaries) == 3
+
+    def test_gps_tree_requires_both_steps(self):
+        tree = gps_spoofing_attack_tree()
+        tree.mark_achieved("record_live_signal")
+        assert not tree.root_achieved()
+        tree.mark_achieved("overpower_receiver")
+        assert tree.root_achieved()
+
+    def test_eavesdrop_tree_alert_binding(self):
+        tree = eavesdrop_replay_attack_tree()
+        assert tree.leaf_by_alert_type("promiscuous_probe")
+        assert tree.leaf_by_alert_type("message_injection")

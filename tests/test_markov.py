@@ -1,0 +1,150 @@
+"""Unit tests for the CTMC reliability engine."""
+
+import numpy as np
+import pytest
+
+from repro.safedrones.markov import (
+    ContinuousMarkovChain,
+    MarkovModelError,
+    parallel_reliability,
+    series_reliability,
+)
+
+
+def two_state(rate=0.1):
+    return ContinuousMarkovChain(
+        states=["up", "down"],
+        q=np.array([[0.0, rate], [0.0, 0.0]]),
+        absorbing=frozenset({"down"}),
+    )
+
+
+class TestConstruction:
+    def test_rows_sum_to_zero(self):
+        chain = two_state()
+        assert np.allclose(chain.q.sum(axis=1), 0.0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(MarkovModelError):
+            ContinuousMarkovChain(states=["a", "b"], q=np.zeros((3, 3)))
+
+    def test_rejects_duplicate_states(self):
+        with pytest.raises(MarkovModelError):
+            ContinuousMarkovChain(states=["a", "a"], q=np.zeros((2, 2)))
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(MarkovModelError):
+            ContinuousMarkovChain(
+                states=["a", "b"], q=np.array([[0.0, -1.0], [0.0, 0.0]])
+            )
+
+    def test_rejects_unknown_absorbing(self):
+        with pytest.raises(MarkovModelError):
+            ContinuousMarkovChain(
+                states=["a", "b"], q=np.zeros((2, 2)), absorbing=frozenset({"zzz"})
+            )
+
+    def test_rejects_leaky_absorbing_state(self):
+        with pytest.raises(MarkovModelError):
+            ContinuousMarkovChain(
+                states=["a", "b"],
+                q=np.array([[0.0, 1.0], [1.0, 0.0]]),
+                absorbing=frozenset({"b"}),
+            )
+
+
+class TestTransient:
+    def test_exponential_decay_closed_form(self):
+        rate = 0.05
+        chain = two_state(rate)
+        for t in (0.0, 1.0, 10.0, 100.0):
+            pof = chain.failure_probability(np.array([1.0, 0.0]), t)
+            assert pof == pytest.approx(1.0 - np.exp(-rate * t), rel=1e-9, abs=1e-12)
+
+    def test_distribution_stays_normalised(self):
+        chain = two_state()
+        pt = chain.transient(np.array([1.0, 0.0]), 37.0)
+        assert pt.sum() == pytest.approx(1.0)
+        assert (pt >= -1e-12).all()
+
+    def test_transient_from_named_state(self):
+        chain = two_state(0.2)
+        pt = chain.transient_from("down", 5.0)
+        assert pt[chain.index("down")] == pytest.approx(1.0)
+
+    def test_rejects_bad_p0(self):
+        chain = two_state()
+        with pytest.raises(MarkovModelError):
+            chain.transient(np.array([0.7, 0.7]), 1.0)
+
+    def test_rejects_negative_time(self):
+        chain = two_state()
+        with pytest.raises(MarkovModelError):
+            chain.transient(np.array([1.0, 0.0]), -1.0)
+
+    def test_reliability_complements_pof(self):
+        chain = two_state(0.03)
+        p0 = np.array([1.0, 0.0])
+        assert chain.reliability(p0, 10.0) == pytest.approx(
+            1.0 - chain.failure_probability(p0, 10.0)
+        )
+
+
+class TestMttf:
+    def test_exponential_mttf(self):
+        chain = two_state(0.01)
+        assert chain.mttf("up") == pytest.approx(100.0)
+
+    def test_mttf_of_absorbing_state_is_zero(self):
+        chain = two_state()
+        assert chain.mttf("down") == 0.0
+
+    def test_two_stage_chain_mttf_adds(self):
+        lam = 0.02
+        chain = ContinuousMarkovChain(
+            states=["a", "b", "fail"],
+            q=np.array(
+                [[0.0, lam, 0.0], [0.0, 0.0, lam], [0.0, 0.0, 0.0]]
+            ),
+            absorbing=frozenset({"fail"}),
+        )
+        assert chain.mttf("a") == pytest.approx(2.0 / lam)
+
+
+class TestScaled:
+    def test_scaling_accelerates_failure(self):
+        chain = two_state(0.01)
+        fast = chain.scaled(10.0)
+        p0 = np.array([1.0, 0.0])
+        assert fast.failure_probability(p0, 10.0) > chain.failure_probability(p0, 10.0)
+
+    def test_scaled_equivalent_to_time_dilation(self):
+        chain = two_state(0.01)
+        p0 = np.array([1.0, 0.0])
+        assert chain.scaled(3.0).failure_probability(p0, 5.0) == pytest.approx(
+            chain.failure_probability(p0, 15.0)
+        )
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(MarkovModelError):
+            two_state().scaled(-1.0)
+
+
+class TestCompositions:
+    def test_series_reliability(self):
+        assert series_reliability([0.9, 0.9]) == pytest.approx(0.81)
+
+    def test_parallel_reliability(self):
+        assert parallel_reliability([0.9, 0.9]) == pytest.approx(0.99)
+
+    def test_series_bounded_by_weakest(self):
+        assert series_reliability([0.5, 0.99]) <= 0.5
+
+    def test_parallel_at_least_best(self):
+        assert parallel_reliability([0.5, 0.99]) >= 0.99
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            series_reliability([1.5])
+        with pytest.raises(ValueError):
+            parallel_reliability([-0.1])

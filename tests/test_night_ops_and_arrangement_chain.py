@@ -1,0 +1,106 @@
+"""Tests for night-ops missions (modality adapter) and arrangement-
+calibrated propulsion chains."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import build_three_uav_world
+from repro.safedrones.arrangement import ArrangementAnalysis
+from repro.safedrones.propulsion import (
+    PropulsionModel,
+    motor_chain_from_survival,
+)
+from repro.sar.mission import SarMission
+from repro.sar.thermal import (
+    DualModalityDetector,
+    LightCondition,
+    ModalityMissionDetector,
+)
+
+
+def run_night_mission(thermal_available: bool, seed=31):
+    scenario = build_three_uav_world(seed=seed, n_persons=10)
+    world = scenario.world
+    detector = ModalityMissionDetector(
+        detector=DualModalityDetector(
+            rng=np.random.default_rng(seed),
+            light=LightCondition.NIGHT,
+            ambient_c=15.0,
+            thermal_available=thermal_available,
+        )
+    )
+    mission = SarMission(world=world, altitude_m=20.0, detector=detector)
+    mission.assign_paths()
+    return mission.run(max_time_s=1500.0)
+
+
+class TestNightOperations:
+    def test_thermal_keeps_night_find_rate_high(self):
+        metrics = run_night_mission(thermal_available=True)
+        assert metrics.find_rate >= 0.8
+
+    def test_rgb_only_night_degrades(self):
+        with_thermal = run_night_mission(thermal_available=True)
+        rgb_only = run_night_mission(thermal_available=False)
+        assert rgb_only.detection_accuracy < with_thermal.detection_accuracy
+
+    def test_detection_accuracy_matches_model(self):
+        metrics = run_night_mission(thermal_available=False)
+        from repro.sar.thermal import rgb_accuracy
+
+        expected = rgb_accuracy(20.0, LightCondition.NIGHT)
+        assert metrics.detection_accuracy == pytest.approx(expected, abs=0.12)
+
+
+class TestArrangementCalibratedChain:
+    @pytest.fixture(scope="class")
+    def hexa(self):
+        return ArrangementAnalysis(rotor_count=6)
+
+    def test_chain_reflects_survival_table(self, hexa):
+        chain = motor_chain_from_survival(6, hexa.survival_by_count)
+        # The hexa survival table tolerates up to 2 failures for some
+        # combinations -> states ok_6, ok_5, ok_4, failed.
+        assert chain.states == ["ok_6", "ok_5", "ok_4", "failed"]
+
+    def test_from_arrangement_uses_exact_table(self, hexa):
+        model = PropulsionModel.from_arrangement(hexa)
+        assert model.chain.states == ["ok_6", "ok_5", "ok_4", "failed"]
+        # First failure is always survivable for the PNPNPN hexa.
+        assert model.reconfig_success == pytest.approx(1.0)
+
+    def test_two_failures_still_possibly_controllable(self, hexa):
+        model = PropulsionModel.from_arrangement(hexa)
+        model.record_motor_failure()
+        model.record_motor_failure()
+        assert model.controllable
+        assert 0.0 < model.failure_probability(3600.0) < 1.0
+
+    def test_three_failures_fatal(self, hexa):
+        model = PropulsionModel.from_arrangement(hexa)
+        for _ in range(3):
+            model.record_motor_failure()
+        assert not model.controllable
+        assert model.failure_probability(1.0) == 1.0
+
+    def test_arrangement_model_less_optimistic_than_perfect_reconfig(self, hexa):
+        arrangement_model = PropulsionModel.from_arrangement(hexa)
+        perfect = PropulsionModel(rotor_count=6, reconfig_success=1.0)
+        horizon = 8 * 3600.0
+        # The default table stops at 1 tolerated failure; the arrangement
+        # chain continues to 2 but with combination-dependent loss — the
+        # two models must both be sane, and the arrangement one sits
+        # between the naive table and the perfect-reconfig fantasy.
+        naive = PropulsionModel(rotor_count=6, reconfig_success=1.0)
+        naive_pof = naive.failure_probability(horizon)
+        arrangement_pof = arrangement_model.failure_probability(horizon)
+        assert 0.0 < arrangement_pof < 1.0
+        # Tolerating a second failure (partially) beats the 1-failure table.
+        assert arrangement_pof < naive_pof
+
+    def test_quad_arrangement_matches_table(self):
+        quad = ArrangementAnalysis(rotor_count=4)
+        model = PropulsionModel.from_arrangement(quad)
+        assert model.chain.states == ["ok_4", "failed"]
+        model.record_motor_failure()
+        assert not model.controllable

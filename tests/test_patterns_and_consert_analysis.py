@@ -1,0 +1,192 @@
+"""Unit tests for SAR search patterns and ConSert static analysis."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    find_composition_cycles,
+    find_unbound_demands,
+    guarantee_reachability,
+    validate_composition,
+)
+from repro.core.conserts import AndNode, ConSert, Demand, Guarantee, RuntimeEvidence
+from repro.core.uav_network import UavConSertNetwork
+from repro.sar.coverage import swath_width_m
+from repro.sar.patterns import (
+    coverage_radius_profile,
+    expanding_square,
+    pattern_length_m,
+    sector_search,
+)
+
+DATUM = (100.0, 100.0)
+
+
+class TestExpandingSquare:
+    def test_starts_at_datum(self):
+        path = expanding_square(DATUM, 20.0, max_radius_m=80.0)
+        assert path[0] == (100.0, 100.0, 20.0)
+
+    def test_legs_grow(self):
+        path = expanding_square(DATUM, 20.0, max_radius_m=100.0)
+        lengths = [
+            math.dist(a, b) for a, b in zip(path, path[1:])
+        ]
+        # Leg length is non-decreasing and strictly grows every two legs.
+        assert all(b >= a - 1e-9 for a, b in zip(lengths, lengths[1:]))
+        assert lengths[-1] > lengths[0]
+
+    def test_stays_roughly_within_radius(self):
+        path = expanding_square(DATUM, 20.0, max_radius_m=80.0)
+        spacing = swath_width_m(20.0)
+        for east, north, _ in path:
+            assert math.hypot(east - DATUM[0], north - DATUM[1]) <= 2 * 80.0 + 2 * spacing
+
+    def test_covers_inner_rings_densely(self):
+        path = expanding_square(DATUM, 20.0, max_radius_m=100.0)
+        profile = coverage_radius_profile(path, DATUM, [10.0, 40.0, 80.0], 20.0)
+        assert profile[10.0] == pytest.approx(1.0, abs=0.05)
+        assert profile[40.0] > 0.8
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            expanding_square(DATUM, 20.0, max_radius_m=0.0)
+
+    def test_altitude_constant(self):
+        path = expanding_square(DATUM, 35.0, max_radius_m=60.0)
+        assert all(wp[2] == 35.0 for wp in path)
+
+
+class TestSectorSearch:
+    def test_passes_through_datum_repeatedly(self):
+        path = sector_search(DATUM, 20.0, radius_m=60.0, n_sectors=3)
+        datum_hits = sum(
+            1 for wp in path if math.hypot(wp[0] - DATUM[0], wp[1] - DATUM[1]) < 1e-6
+        )
+        assert datum_hits >= 4  # start + one return per sector at least
+
+    def test_stays_within_radius(self):
+        path = sector_search(DATUM, 20.0, radius_m=60.0)
+        for east, north, _ in path:
+            assert math.hypot(east - DATUM[0], north - DATUM[1]) <= 60.0 + 1e-6
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            sector_search(DATUM, 20.0, radius_m=-1.0)
+        with pytest.raises(ValueError):
+            sector_search(DATUM, 20.0, radius_m=50.0, n_sectors=0)
+
+    def test_denser_at_centre_than_edge(self):
+        path = sector_search(DATUM, 20.0, radius_m=80.0, n_sectors=3)
+        profile = coverage_radius_profile(path, DATUM, [10.0, 75.0], 20.0)
+        assert profile[10.0] >= profile[75.0]
+
+    def test_pattern_length_positive(self):
+        path = sector_search(DATUM, 20.0, radius_m=60.0)
+        assert pattern_length_m(path) > 6 * 60.0
+
+
+def toy_pair(bound=True):
+    provider = ConSert(
+        name="provider",
+        guarantees=[
+            Guarantee("service_ok", AndNode([RuntimeEvidence("ok", True)])),
+            Guarantee("service_down", None),
+        ],
+    )
+    demand = Demand("d", frozenset({"service_ok"}))
+    if bound:
+        demand.bind(provider)
+    consumer = ConSert(
+        name="consumer",
+        guarantees=[
+            Guarantee("go", AndNode([demand])),
+            Guarantee("stop", None),
+        ],
+    )
+    return provider, consumer
+
+
+class TestConsertAnalysis:
+    def test_unbound_demand_detected(self):
+        provider, consumer = toy_pair(bound=False)
+        assert find_unbound_demands([provider, consumer]) == [("consumer", "d")]
+
+    def test_bound_composition_clean(self):
+        provider, consumer = toy_pair()
+        assert find_unbound_demands([provider, consumer]) == []
+        assert find_composition_cycles([provider, consumer]) == []
+
+    def test_cycle_detected(self):
+        a = ConSert(name="a", guarantees=[Guarantee("a_ok", None)])
+        b = ConSert(name="b", guarantees=[Guarantee("b_ok", None)])
+        demand_ab = Demand("dab", frozenset({"b_ok"})).bind(b)
+        demand_ba = Demand("dba", frozenset({"a_ok"})).bind(a)
+        a.guarantees.insert(0, Guarantee("a_strong", AndNode([demand_ab])))
+        b.guarantees.insert(0, Guarantee("b_strong", AndNode([demand_ba])))
+        cycles = find_composition_cycles([a, b])
+        assert cycles
+        assert any(set(cycle) >= {"a", "b"} for cycle in cycles)
+
+    def test_reachability_all_guarantees(self):
+        provider, consumer = toy_pair()
+        reports = {
+            r.consert: r for r in guarantee_reachability([provider, consumer])
+        }
+        assert reports["consumer"].reachable == ["go", "stop"]
+        assert reports["consumer"].unreachable == []
+
+    def test_unreachable_guarantee_detected(self):
+        impossible = ConSert(
+            name="x",
+            guarantees=[
+                Guarantee(
+                    "never",
+                    AndNode(
+                        [
+                            # e and not-e can't both hold... model with an
+                            # unbound demand, which never satisfies.
+                            Demand("no_provider", frozenset({"ghost"})),
+                        ]
+                    ),
+                ),
+                Guarantee("always", None),
+            ],
+        )
+        reports = guarantee_reachability([impossible])
+        assert reports[0].unreachable == ["never"]
+
+    def test_reachability_refuses_huge_networks(self):
+        conserts = [
+            ConSert(
+                name=f"c{i}",
+                guarantees=[
+                    Guarantee("g", AndNode([RuntimeEvidence(f"e{i}_{j}") for j in range(3)])),
+                    Guarantee("d", None),
+                ],
+            )
+            for i in range(8)
+        ]
+        with pytest.raises(ValueError):
+            guarantee_reachability(conserts, max_evidence=16)
+
+    def test_full_uav_network_validates(self):
+        network = UavConSertNetwork(uav_id="uav1")
+        conserts = [
+            network.security,
+            network.gps_localization,
+            network.vision_health,
+            network.vision_localization,
+            network.comm_localization,
+            network.drone_detection,
+            network.reliability,
+            network.navigation,
+            network.uav,
+        ]
+        result = validate_composition(conserts, max_evidence=16)
+        assert result.unbound_demands == []
+        assert result.cycles == []
+        # Every guarantee in the Fig. 1 network is reachable.
+        assert result.unreachable_guarantees == []
+        assert result.ok

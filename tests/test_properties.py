@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import (
+    EnuFrame,
+    GeoPoint,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+)
+from repro.safedrones.fta import AndGate, BasicEvent, KooNGate, OrGate
+from repro.safedrones.markov import ContinuousMarkovChain
+from repro.safeml.distances import ALL_MEASURES, kolmogorov_smirnov_distance
+from repro.security.broker import topic_matches
+from repro.sinadra.risk import SarRiskModel, SituationInputs
+
+# Mid-latitude coordinates away from poles and the antimeridian, where the
+# small-area approximations used by the simulation are valid.
+lat_strategy = st.floats(min_value=-60.0, max_value=60.0)
+lon_strategy = st.floats(min_value=-170.0, max_value=170.0)
+prob_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestGeoProperties:
+    @given(lat=lat_strategy, lon=lon_strategy, lat2=lat_strategy, lon2=lon_strategy)
+    @settings(max_examples=100)
+    def test_haversine_symmetry_and_nonnegativity(self, lat, lon, lat2, lon2):
+        a, b = GeoPoint(lat, lon), GeoPoint(lat2, lon2)
+        d_ab = haversine_m(a, b)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(haversine_m(b, a), rel=1e-9, abs=1e-6)
+
+    @given(
+        lat=lat_strategy,
+        lon=lon_strategy,
+        bearing=st.floats(min_value=0.0, max_value=360.0),
+        distance=st.floats(min_value=1.0, max_value=50_000.0),
+    )
+    @settings(max_examples=100)
+    def test_destination_point_roundtrip(self, lat, lon, bearing, distance):
+        origin = GeoPoint(lat, lon)
+        dest = destination_point(origin, bearing, distance)
+        assert haversine_m(origin, dest) == pytest.approx(distance, rel=1e-6)
+
+    @given(
+        lat=lat_strategy,
+        lon=lon_strategy,
+        east=st.floats(min_value=-5000.0, max_value=5000.0),
+        north=st.floats(min_value=-5000.0, max_value=5000.0),
+        up=st.floats(min_value=-100.0, max_value=500.0),
+    )
+    @settings(max_examples=100)
+    def test_enu_roundtrip(self, lat, lon, east, north, up):
+        frame = EnuFrame(origin=GeoPoint(lat, lon))
+        e, n, u = frame.to_enu(frame.to_geo(east, north, up))
+        assert e == pytest.approx(east, abs=1e-4)
+        assert n == pytest.approx(north, abs=1e-4)
+        assert u == pytest.approx(up, abs=1e-9)
+
+    @given(lat=lat_strategy, lon=lon_strategy, lat2=lat_strategy, lon2=lon_strategy)
+    @settings(max_examples=100)
+    def test_bearing_in_range(self, lat, lon, lat2, lon2):
+        bearing = initial_bearing_deg(GeoPoint(lat, lon), GeoPoint(lat2, lon2))
+        assert 0.0 <= bearing < 360.0
+
+
+class TestFtaProperties:
+    @given(probs=st.lists(prob_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_and_le_min_or_ge_max(self, probs):
+        events = [BasicEvent(f"e{i}", p) for i, p in enumerate(probs)]
+        and_p = AndGate("and", list(events)).evaluate()
+        or_p = OrGate("or", list(events)).evaluate()
+        assert and_p <= min(probs) + 1e-12
+        assert or_p >= max(probs) - 1e-12
+        assert and_p <= or_p + 1e-12
+        assert 0.0 <= and_p <= 1.0 and 0.0 <= or_p <= 1.0
+
+    @given(
+        probs=st.lists(prob_strategy, min_size=2, max_size=6),
+        data=st.data(),
+    )
+    @settings(max_examples=100)
+    def test_koon_monotone_in_k(self, probs, data):
+        events = [BasicEvent(f"e{i}", p) for i, p in enumerate(probs)]
+        k = data.draw(st.integers(min_value=1, max_value=len(probs) - 1))
+        loose = KooNGate("k", k=k, children=list(events)).evaluate()
+        strict = KooNGate("k", k=k + 1, children=list(events)).evaluate()
+        assert strict <= loose + 1e-12
+
+    @given(probs=st.lists(prob_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_koon_brackets_and_or(self, probs):
+        events = [BasicEvent(f"e{i}", p) for i, p in enumerate(probs)]
+        n = len(probs)
+        or_p = OrGate("or", list(events)).evaluate()
+        and_p = AndGate("and", list(events)).evaluate()
+        assert KooNGate("k1", k=1, children=list(events)).evaluate() == pytest.approx(or_p)
+        assert KooNGate("kn", k=n, children=list(events)).evaluate() == pytest.approx(and_p)
+
+
+class TestMarkovProperties:
+    @given(
+        rate1=st.floats(min_value=1e-6, max_value=0.5),
+        rate2=st.floats(min_value=1e-6, max_value=0.5),
+        t=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60)
+    def test_distribution_normalised_and_pof_monotone(self, rate1, rate2, t):
+        chain = ContinuousMarkovChain(
+            states=["a", "b", "fail"],
+            q=np.array(
+                [[0.0, rate1, 0.0], [0.0, 0.0, rate2], [0.0, 0.0, 0.0]]
+            ),
+            absorbing=frozenset({"fail"}),
+        )
+        p0 = np.array([1.0, 0.0, 0.0])
+        pt = chain.transient(p0, t)
+        assert pt.sum() == pytest.approx(1.0, abs=1e-8)
+        assert (pt >= -1e-10).all()
+        assert chain.failure_probability(p0, t) <= chain.failure_probability(
+            p0, t + 10.0
+        ) + 1e-9
+
+
+@st.composite
+def sample_pair(draw):
+    a = draw(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0), min_size=5, max_size=60
+        )
+    )
+    b = draw(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0), min_size=5, max_size=60
+        )
+    )
+    return np.array(a), np.array(b)
+
+
+class TestDistanceProperties:
+    @given(pair=sample_pair())
+    @settings(max_examples=60)
+    def test_all_measures_nonnegative_and_symmetric(self, pair):
+        a, b = pair
+        for fn in ALL_MEASURES.values():
+            d_ab = fn(a, b)
+            assert d_ab >= -1e-12
+            assert d_ab == pytest.approx(fn(b, a), rel=1e-9, abs=1e-9)
+
+    @given(pair=sample_pair())
+    @settings(max_examples=60)
+    def test_identity_of_indiscernibles(self, pair):
+        a, _ = pair
+        for fn in ALL_MEASURES.values():
+            assert fn(a, a) == pytest.approx(0.0, abs=1e-10)
+
+    @given(pair=sample_pair())
+    @settings(max_examples=60)
+    def test_ks_bounded_by_one(self, pair):
+        a, b = pair
+        assert kolmogorov_smirnov_distance(a, b) <= 1.0 + 1e-12
+
+    @given(
+        a=st.lists(st.integers(min_value=-100, max_value=100), min_size=5, max_size=40),
+        b=st.lists(st.integers(min_value=-100, max_value=100), min_size=5, max_size=40),
+        shift=st.integers(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=60)
+    def test_ks_translation_invariance(self, a, b, shift):
+        # Integer-valued data keeps the arithmetic exact, so the set of
+        # ties is preserved under translation.
+        a = np.array(a, dtype=float)
+        b = np.array(b, dtype=float)
+        assert kolmogorov_smirnov_distance(a, b) == pytest.approx(
+            kolmogorov_smirnov_distance(a + shift, b + shift), abs=1e-9
+        )
+
+
+class TestBrokerProperties:
+    @given(
+        levels=st.lists(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_exact_topic_matches_itself(self, levels):
+        topic = "/".join(levels)
+        assert topic_matches(topic, topic)
+        assert topic_matches("#", topic)
+
+    @given(
+        levels=st.lists(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll",)),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=2,
+            max_size=5,
+        ),
+        idx=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=100)
+    def test_plus_wildcard_matches_any_single_level(self, levels, idx):
+        idx = idx % len(levels)
+        topic = "/".join(levels)
+        pattern_levels = list(levels)
+        pattern_levels[idx] = "+"
+        assert topic_matches("/".join(pattern_levels), topic)
+
+
+class TestRiskProperties:
+    @given(
+        u1=prob_strategy,
+        u2=prob_strategy,
+        prior=prob_strategy,
+    )
+    @settings(max_examples=60)
+    def test_risk_monotone_in_uncertainty(self, u1, u2, prior):
+        model = SarRiskModel()
+        lo, hi = sorted((u1, u2))
+        r_lo = model.assess(
+            SituationInputs(lo, "high", "good", prior)
+        ).missed_person_probability
+        r_hi = model.assess(
+            SituationInputs(hi, "high", "good", prior)
+        ).missed_person_probability
+        assert r_hi >= r_lo - 1e-12
+
+    @given(u=prob_strategy, prior=prob_strategy)
+    @settings(max_examples=60)
+    def test_risk_bounded_by_prior(self, u, prior):
+        model = SarRiskModel()
+        risk = model.assess(
+            SituationInputs(u, "high", "poor", prior)
+        ).missed_person_probability
+        assert 0.0 <= risk <= prior + 1e-12

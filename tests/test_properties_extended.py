@@ -1,0 +1,213 @@
+"""Property-based tests for the extension modules: message auth,
+multilateration, redistribution, multivariate distances, quantitative
+attack trees."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.localization.comm import CommLocalizer, RangeMeasurement
+from repro.middleware.auth import MessageSigner, VerifyingSubscriber
+from repro.middleware.rosbus import RosBus
+from repro.safeml.multivariate import energy_distance, mmd_rbf
+from repro.security.analysis import propagate_likelihood
+from repro.security.attack_trees import AttackNode, GateType
+
+
+class TestAuthProperties:
+    @given(
+        bodies=st.lists(
+            st.dictionaries(
+                st.text(min_size=1, max_size=8),
+                st.integers(min_value=-1000, max_value=1000),
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50)
+    def test_signed_stream_delivers_in_order(self, bodies):
+        bus = RosBus()
+        received = []
+        key = b"k"
+        signer = MessageSigner(node="uav1", key=key)
+        VerifyingSubscriber(
+            bus=bus, topic="/t", node="sub", key=key,
+            on_message=lambda sender, body: received.append(body),
+        )
+        for body in bodies:
+            signer.publish(bus, "/t", body)
+        assert received == bodies
+
+    @given(
+        seq=st.integers(min_value=0, max_value=10_000),
+        body=st.integers(),
+    )
+    @settings(max_examples=50)
+    def test_forged_tags_never_accepted(self, seq, body):
+        from repro.middleware.auth import SignedPayload
+
+        bus = RosBus()
+        received = []
+        VerifyingSubscriber(
+            bus=bus, topic="/t", node="sub", key=b"secret",
+            on_message=lambda sender, payload: received.append(payload),
+        )
+        forged = SignedPayload(sender="uav1", seq=seq, body=body, tag="ab" * 32)
+        bus.publish("/t", forged, sender="uav1", origin="adversary")
+        assert received == []
+
+
+@st.composite
+def anchor_geometry(draw):
+    """Random well-spread 4-anchor geometry plus a target inside it."""
+    anchors = {}
+    offsets = [(0.0, 0.0), (120.0, 0.0), (60.0, 130.0), (-50.0, 70.0)]
+    for i, (east, north) in enumerate(offsets):
+        jitter_e = draw(st.floats(min_value=-20.0, max_value=20.0))
+        jitter_n = draw(st.floats(min_value=-20.0, max_value=20.0))
+        alt = draw(st.floats(min_value=2.0, max_value=40.0))
+        anchors[f"a{i}"] = (east + jitter_e, north + jitter_n, alt)
+    target = (
+        draw(st.floats(min_value=10.0, max_value=90.0)),
+        draw(st.floats(min_value=10.0, max_value=90.0)),
+        draw(st.floats(min_value=5.0, max_value=35.0)),
+    )
+    return anchors, target
+
+
+class TestMultilaterationProperties:
+    @given(geometry=anchor_geometry())
+    @settings(max_examples=40, deadline=None)
+    def test_noiseless_solve_recovers_target(self, geometry):
+        anchors, target = geometry
+        measurements = [
+            RangeMeasurement(
+                anchor_id=anchor_id,
+                anchor_enu=anchor,
+                range_m=math.dist(anchor, target),
+                sigma_m=0.3,
+                stamp=0.0,
+            )
+            for anchor_id, anchor in anchors.items()
+        ]
+        fix = CommLocalizer().solve(
+            measurements, initial_guess=(50.0, 50.0, 20.0), altitude_prior=target[2]
+        )
+        assert fix is not None
+        assert math.dist(fix.enu, target) < 0.5
+
+
+class TestRedistributionProperties:
+    @given(
+        n_waypoints=st.integers(min_value=1, max_value=30),
+        done=st.integers(min_value=0, max_value=29),
+        max_segments=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plan_partitions_remaining_exactly(self, n_waypoints, done, max_segments):
+        from repro.experiments.common import build_three_uav_world
+        from repro.sar.redistribution import TaskRedistributor
+
+        scenario = build_three_uav_world(seed=1, n_persons=0)
+        world = scenario.world
+        dropped = world.uavs["uav1"]
+        waypoints = [(float(10 * i), 50.0, 20.0) for i in range(n_waypoints)]
+        dropped.start_mission(waypoints)
+        dropped.plan.index = min(done, n_waypoints)
+        takeover = [world.uavs["uav2"], world.uavs["uav3"]]
+        assignments = TaskRedistributor(max_segments=max_segments).plan(
+            dropped, takeover
+        )
+        planned = [wp for a in assignments for wp in a.waypoints]
+        assert planned == waypoints[min(done, n_waypoints):]
+        assert len(assignments) <= max_segments
+
+
+class TestMultivariateProperties:
+    @given(
+        data=st.lists(
+            st.lists(
+                st.floats(min_value=-50.0, max_value=50.0), min_size=2, max_size=2
+            ),
+            min_size=4,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_energy_and_mmd_axioms(self, data):
+        sample = np.array(data)
+        assert energy_distance(sample, sample) == pytest.approx(0.0, abs=1e-9)
+        assert mmd_rbf(sample, sample) == pytest.approx(0.0, abs=1e-9)
+        shifted = sample + 100.0
+        assert energy_distance(sample, shifted) > 0.0
+
+    @given(
+        data=st.lists(
+            st.lists(
+                st.floats(min_value=-50.0, max_value=50.0), min_size=3, max_size=3
+            ),
+            min_size=4,
+            max_size=20,
+        ),
+        other=st.lists(
+            st.lists(
+                st.floats(min_value=-50.0, max_value=50.0), min_size=3, max_size=3
+            ),
+            min_size=4,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_symmetry(self, data, other):
+        a, b = np.array(data), np.array(other)
+        assert energy_distance(a, b) == pytest.approx(
+            energy_distance(b, a), rel=1e-9, abs=1e-12
+        )
+
+
+LIKELIHOODS = st.sampled_from(["low", "medium", "high", "very_high"])
+
+
+@st.composite
+def random_attack_tree(draw, depth=0):
+    """Random well-formed attack tree up to depth 3."""
+    if depth >= 2 or draw(st.booleans()):
+        return AttackNode(
+            node_id=f"leaf{draw(st.integers(0, 10_000))}",
+            title="leaf",
+            likelihood=draw(LIKELIHOODS),
+        )
+    gate = draw(st.sampled_from([GateType.AND, GateType.OR]))
+    n_children = draw(st.integers(min_value=1, max_value=3))
+    children = [draw(random_attack_tree(depth=depth + 1)) for _ in range(n_children)]
+    return AttackNode(
+        node_id=f"gate{draw(st.integers(0, 10_000))}",
+        title="gate",
+        gate=gate,
+        children=children,
+        likelihood=draw(LIKELIHOODS),
+    )
+
+
+class TestAttackTreeProperties:
+    @given(tree=random_attack_tree())
+    @settings(max_examples=60)
+    def test_likelihood_in_unit_interval(self, tree):
+        value = propagate_likelihood(tree)
+        assert 0.0 <= value <= 1.0
+
+    @given(tree=random_attack_tree())
+    @settings(max_examples=60)
+    def test_and_bounded_by_or(self, tree):
+        if tree.gate is GateType.LEAF or not tree.children:
+            return
+        child_values = [propagate_likelihood(c) for c in tree.children]
+        value = propagate_likelihood(tree)
+        if tree.gate is GateType.AND:
+            assert value <= min(child_values) + 1e-12
+        else:
+            assert value >= max(child_values) - 1e-12

@@ -1,0 +1,133 @@
+"""Unit tests for the flight recorder and the dynamic risk tracker."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import build_three_uav_world
+from repro.middleware.rosbus import RosBus
+from repro.platform.recorder import FlightRecorder, TelemetryRecord
+from repro.sinadra.dynamic import DynamicRiskTracker
+from repro.sinadra.risk import Criticality, SituationInputs
+
+
+def record_short_flight():
+    scenario = build_three_uav_world(seed=3, n_persons=0)
+    world = scenario.world
+    recorder = FlightRecorder(bus=world.bus)
+    for uav_id in world.uavs:
+        recorder.watch(uav_id)
+    world.uavs["uav1"].start_mission([(80.0, 50.0, 20.0), (150.0, 50.0, 20.0)])
+    for _ in range(200):
+        world.step()
+    return world, recorder
+
+
+class TestFlightRecorder:
+    def test_records_watched_uavs(self):
+        world, recorder = record_short_flight()
+        assert len(recorder.records["uav1"]) > 50
+        # Idle UAVs still emit telemetry.
+        assert len(recorder.records["uav2"]) > 50
+
+    def test_kpis_flight_time_and_distance(self):
+        world, recorder = record_short_flight()
+        kpis = recorder.kpis("uav1")
+        assert kpis.flight_time_s > 60.0
+        # Flew at least out to the second waypoint and back toward base.
+        assert kpis.distance_m > 150.0
+        assert kpis.energy_used_fraction > 0.0
+        assert 0.0 <= kpis.min_battery_soc <= 1.0
+
+    def test_mode_occupancy_covers_mission(self):
+        world, recorder = record_short_flight()
+        kpis = recorder.kpis("uav1")
+        assert "mission" in kpis.mode_occupancy_s
+        assert kpis.mode_occupancy_s["mission"] > 10.0
+
+    def test_kpis_require_data(self):
+        recorder = FlightRecorder(bus=RosBus())
+        with pytest.raises(ValueError):
+            recorder.kpis("ghost")
+
+    def test_track_matches_record_count(self):
+        world, recorder = record_short_flight()
+        assert len(recorder.track("uav1")) == len(recorder.records["uav1"])
+
+    def test_jsonl_roundtrip(self):
+        world, recorder = record_short_flight()
+        text = recorder.export_jsonl("uav1")
+        rebuilt = FlightRecorder.import_jsonl(RosBus(), "uav1", text)
+        assert rebuilt.records["uav1"] == recorder.records["uav1"]
+        assert rebuilt.kpis("uav1") == recorder.kpis("uav1")
+
+    def test_record_json_roundtrip(self):
+        record = TelemetryRecord(
+            uav_id="u", stamp=1.5, mode="mission", east=1.0, north=2.0, up=3.0,
+            battery_soc=0.8, battery_temp_c=30.0, gps_valid=True,
+        )
+        assert TelemetryRecord.from_json(record.to_json()) == record
+
+
+def situation(uncertainty: float) -> SituationInputs:
+    return SituationInputs(uncertainty, "high", "good", 0.3)
+
+
+class TestDynamicRiskTracker:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicRiskTracker(stickiness=0.3)
+        with pytest.raises(ValueError):
+            DynamicRiskTracker(observation_confusion=0.9)
+
+    def test_persistent_high_risk_converges_to_high(self):
+        tracker = DynamicRiskTracker()
+        result = None
+        for k in range(10):
+            result = tracker.update(float(k), situation(0.95))
+        assert result.regime is Criticality.HIGH
+        assert result.rescan_recommended
+
+    def test_single_spike_filtered_out(self):
+        tracker = DynamicRiskTracker()
+        for k in range(10):
+            tracker.update(float(k), situation(0.2))
+        spike = tracker.update(10.0, situation(0.95))
+        # The instantaneous assessment spikes, the filtered regime holds.
+        assert spike.instantaneous is Criticality.HIGH
+        assert spike.regime is not Criticality.HIGH
+
+    def test_sustained_elevation_eventually_flips(self):
+        tracker = DynamicRiskTracker()
+        for k in range(10):
+            tracker.update(float(k), situation(0.2))
+        regimes = []
+        for k in range(10, 25):
+            regimes.append(tracker.update(float(k), situation(0.95)).regime)
+        assert regimes[-1] is Criticality.HIGH
+        # It took more than one tick (hysteresis).
+        assert regimes[0] is not Criticality.HIGH
+
+    def test_posterior_is_distribution(self):
+        tracker = DynamicRiskTracker()
+        result = tracker.update(0.0, situation(0.7))
+        assert sum(result.posterior.values()) == pytest.approx(1.0)
+        assert all(p >= 0.0 for p in result.posterior.values())
+
+    def test_recovery_after_descent(self):
+        tracker = DynamicRiskTracker()
+        for k in range(15):
+            tracker.update(float(k), situation(0.95))
+        assert tracker.history[-1].regime is Criticality.HIGH
+        low = SituationInputs(0.2, "low", "good", 0.3)
+        result = None
+        for k in range(15, 40):
+            result = tracker.update(float(k), low)
+        assert result.regime is Criticality.LOW
+
+    def test_reset(self):
+        tracker = DynamicRiskTracker()
+        for k in range(10):
+            tracker.update(float(k), situation(0.95))
+        tracker.reset()
+        assert not tracker.history
+        assert tracker.belief[0] == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Unit tests for task redistribution among remaining capable UAVs."""
+
+import pytest
+
+from repro.experiments.common import build_three_uav_world
+from repro.sar.redistribution import TaskRedistributor
+from repro.uav.uav import FlightMode
+
+
+def setup_fleet(seed=0):
+    scenario = build_three_uav_world(seed=seed, n_persons=0)
+    world = scenario.world
+    dropped = world.uavs["uav1"]
+    takeover = [world.uavs["uav2"], world.uavs["uav3"]]
+    dropped.start_mission(
+        [(60.0 * i, 50.0, 20.0) for i in range(10)]
+    )
+    # Fly a little so some waypoints are already done.
+    for _ in range(60):
+        world.step()
+    return world, dropped, takeover
+
+
+class TestTaskRedistributor:
+    def test_remaining_waypoints_excludes_done(self):
+        world, dropped, takeover = setup_fleet()
+        remaining = TaskRedistributor.remaining_waypoints(dropped)
+        assert 0 < len(remaining) < 10
+
+    def test_plan_covers_all_remaining_waypoints(self):
+        world, dropped, takeover = setup_fleet()
+        remaining = TaskRedistributor.remaining_waypoints(dropped)
+        assignments = TaskRedistributor().plan(dropped, takeover)
+        planned = [wp for a in assignments for wp in a.waypoints]
+        assert planned == remaining
+
+    def test_plan_assigns_only_to_takeover_uavs(self):
+        world, dropped, takeover = setup_fleet()
+        assignments = TaskRedistributor().plan(dropped, takeover)
+        valid = {u.spec.uav_id for u in takeover}
+        assert all(a.to_uav in valid for a in assignments)
+        assert all(a.from_uav == "uav1" for a in assignments)
+
+    def test_plan_does_not_mutate(self):
+        world, dropped, takeover = setup_fleet()
+        before = [list(u.plan.waypoints) for u in takeover]
+        TaskRedistributor().plan(dropped, takeover)
+        after = [list(u.plan.waypoints) for u in takeover]
+        assert before == after
+
+    def test_empty_remaining_yields_no_assignments(self):
+        world, dropped, takeover = setup_fleet()
+        dropped.plan.index = len(dropped.plan.waypoints)
+        assert TaskRedistributor().plan(dropped, takeover) == []
+
+    def test_requires_takeover_uavs(self):
+        world, dropped, _ = setup_fleet()
+        with pytest.raises(ValueError):
+            TaskRedistributor().plan(dropped, [])
+
+    def test_execute_starts_idle_takeover_uavs(self):
+        world, dropped, takeover = setup_fleet()
+        assignments = TaskRedistributor().execute(dropped, takeover)
+        assert assignments
+        used = {a.to_uav for a in assignments}
+        for uav in takeover:
+            if uav.spec.uav_id in used:
+                assert uav.mode is FlightMode.MISSION
+                assert uav.plan.waypoints
+
+    def test_execute_appends_to_active_missions(self):
+        world, dropped, takeover = setup_fleet()
+        for uav in takeover:
+            uav.start_mission([(200.0, 200.0, 20.0)])
+        before = {u.spec.uav_id: len(u.plan.waypoints) for u in takeover}
+        assignments = TaskRedistributor().execute(dropped, takeover)
+        for assignment in assignments:
+            uav = next(u for u in takeover if u.spec.uav_id == assignment.to_uav)
+            assert len(uav.plan.waypoints) == before[uav.spec.uav_id] + len(
+                assignment.waypoints
+            )
+
+    def test_max_segments_bounds_fragmentation(self):
+        world, dropped, takeover = setup_fleet()
+        assignments = TaskRedistributor(max_segments=1).plan(dropped, takeover)
+        assert len(assignments) == 1
+
+    def test_redistributed_mission_completes(self):
+        world, dropped, takeover = setup_fleet()
+        dropped.command_mode(FlightMode.RETURN_TO_BASE)
+        TaskRedistributor().execute(dropped, takeover)
+        for _ in range(2000):
+            world.step()
+            if all(u.plan.complete for u in takeover):
+                break
+        assert all(u.plan.complete for u in takeover)

@@ -1,0 +1,175 @@
+"""Tests for the standard response policy and fleet-scale behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import build_fleet_eddis
+from repro.core.decider import MissionDecider, MissionVerdict
+from repro.core.responses import FleetResponseCoordinator, StandardResponsePolicy
+from repro.core.uav_network import UavConSertNetwork, UavGuarantee
+from repro.geo import EnuFrame, GeoPoint
+from repro.middleware.rosbus import RosBus
+from repro.sar.coverage import boustrophedon_path, partition_area
+from repro.uav.battery import BatteryFault
+from repro.uav.uav import FlightMode, Uav, UavSpec
+from repro.uav.world import World
+
+
+def build_fleet_world(n_uavs: int, seed=0):
+    rng = np.random.default_rng(seed)
+    world = World(
+        frame=EnuFrame(origin=GeoPoint(35.1, 33.4, 0.0)),
+        rng=rng,
+        area_size_m=(120.0 * n_uavs, 300.0),
+    )
+    for i in range(n_uavs):
+        world.add_uav(
+            Uav(
+                spec=UavSpec(
+                    uav_id=f"uav{i + 1}", base_position=(60.0 + 120.0 * i, -20.0, 0.0)
+                ),
+                frame=world.frame,
+                bus=world.bus,
+                rng=rng,
+            )
+        )
+    return world
+
+
+class TestStandardResponsePolicy:
+    def setup_policy(self):
+        world = build_fleet_world(3, seed=5)
+        fleet = build_fleet_eddis(world, cl_range_m=400.0)
+        policies = {
+            uav_id: StandardResponsePolicy(uav=world.uavs[uav_id], eddi=eddi)
+            for uav_id, (eddi, stack) in fleet.items()
+        }
+        return world, fleet, policies
+
+    def test_battery_failure_triggers_flight_response(self):
+        world, fleet, policies = self.setup_policy()
+        uav = world.uavs["uav1"]
+        # A long enough mission that the PoF crosses the RTB band mid-air.
+        uav.start_mission(
+            [
+                (60.0, 280.0, 20.0),
+                (100.0, 20.0, 20.0),
+                (140.0, 280.0, 20.0),
+                (180.0, 20.0, 20.0),
+                (220.0, 280.0, 20.0),
+            ]
+        )
+        uav.battery.soc = 0.8
+        uav.battery.inject_fault(BatteryFault(at_time=10.0, soc_drop_to=0.15))
+        while world.time < 600.0:
+            world.step()
+            for eddi, _ in fleet.values():
+                eddi.step(world.time)
+            if uav.mode in (FlightMode.RETURN_TO_BASE, FlightMode.EMERGENCY_LAND,
+                            FlightMode.LANDED):
+                break
+        assert policies["uav1"].log
+        actions = [action for _, action in policies["uav1"].log]
+        assert any(a in ("return_to_base", "emergency_land") for a in actions)
+
+    def test_healthy_mission_no_interference(self):
+        world, fleet, policies = self.setup_policy()
+        for uav in world.uavs.values():
+            uav.start_mission([(100.0, 200.0, 20.0)])
+        for _ in range(30):
+            world.step()
+            for eddi, _ in fleet.values():
+                eddi.step(world.time)
+        assert all(not policy.log for policy in policies.values())
+
+    def test_hold_and_resume_cycle(self):
+        world = build_fleet_world(1, seed=6)
+        uav = world.uavs["uav1"]
+        uav.start_mission([(60.0, 280.0, 20.0)])
+        network = UavConSertNetwork(uav_id="uav1")
+        network.set_reliability_level("high")
+        from repro.core.eddi import Eddi
+
+        eddi = Eddi(name="uav1", network=network)
+        policy = StandardResponsePolicy(uav=uav, eddi=eddi)
+        eddi.step(1.0)
+        # Degrade into the HOLD band: medium reliability, no nav, camera ok.
+        network.set_reliability_level("medium")
+        network.set_gps_quality_ok(False)
+        network.set_nearby_uavs_available(False)
+        network.set_safeml_confidence_ok(False)
+        network.set_drone_detection_ok(False)
+        eddi.step(2.0)
+        assert uav.mode is FlightMode.HOLD
+        # Situation clears -> resume.
+        network.set_gps_quality_ok(True)
+        network.set_reliability_level("high")
+        eddi.step(3.0)
+        assert uav.mode is FlightMode.MISSION
+        assert [a for _, a in policy.log] == ["hold_position", "resume_mission"]
+
+
+class TestFleetResponseCoordinator:
+    def test_redistribution_happens_once_per_dropout(self):
+        world = build_fleet_world(3, seed=7)
+        networks = {}
+        decider = MissionDecider()
+        for uav_id in world.uavs:
+            network = UavConSertNetwork(uav_id=uav_id)
+            network.set_reliability_level("high")
+            decider.add_uav(network)
+            networks[uav_id] = network
+        strips = partition_area(world.area_size_m, 3)
+        for (uav_id, uav), bounds in zip(sorted(world.uavs.items()), strips):
+            uav.start_mission(boustrophedon_path(bounds, 20.0))
+        coordinator = FleetResponseCoordinator(decider=decider, uavs=world.uavs)
+
+        for _ in range(30):
+            world.step()
+        assert coordinator.step(world.time) is MissionVerdict.AS_PLANNED
+        assert coordinator.assignments == []
+
+        networks["uav1"].set_reliability_level("low")
+        world.uavs["uav1"].command_mode(FlightMode.RETURN_TO_BASE)
+        verdict = coordinator.step(world.time)
+        assert verdict is MissionVerdict.REDISTRIBUTE
+        first_count = len(coordinator.assignments)
+        assert first_count > 0
+        # Stepping again does not re-assign the same dropout.
+        coordinator.step(world.time)
+        assert len(coordinator.assignments) == first_count
+
+
+class TestFleetScale:
+    @pytest.mark.parametrize("n_uavs", [6, 10])
+    def test_large_fleet_decider(self, n_uavs):
+        decider = MissionDecider()
+        networks = []
+        for i in range(n_uavs):
+            network = UavConSertNetwork(uav_id=f"uav{i + 1}")
+            network.set_reliability_level("high")
+            decider.add_uav(network)
+            networks.append(network)
+        assert decider.decide().verdict is MissionVerdict.AS_PLANNED
+        # Two dropouts with plenty of spare capacity -> redistribute.
+        networks[0].set_reliability_level("low")
+        networks[1].set_reliability_level("low")
+        decision = decider.decide()
+        assert decision.verdict is MissionVerdict.REDISTRIBUTE
+        plan = decider.redistribution_plan()
+        assert set(plan) == {"uav1", "uav2"}
+
+    def test_six_uav_world_steps(self):
+        world = build_fleet_world(6, seed=9)
+        strips = partition_area(world.area_size_m, 6)
+        for (uav_id, uav), bounds in zip(sorted(world.uavs.items()), strips):
+            uav.start_mission(boustrophedon_path(bounds, 20.0))
+        fleet = build_fleet_eddis(world, cl_range_m=250.0)
+        for _ in range(40):
+            world.step()
+            for eddi, _ in fleet.values():
+                eddi.step(world.time)
+        guarantees = {uav_id: eddi.current_guarantee for uav_id, (eddi, _) in fleet.items()}
+        assert all(
+            g is UavGuarantee.CONTINUE_MISSION_EXTRA for g in guarantees.values()
+        )

@@ -1,0 +1,176 @@
+"""Unit tests for the Bayesian-network engine and the SAR risk model."""
+
+import pytest
+
+from repro.sinadra.bayesnet import BayesianNetwork, DiscreteNode
+from repro.sinadra.risk import (
+    Criticality,
+    SarRiskModel,
+    SituationInputs,
+    build_sar_risk_network,
+)
+
+
+def sprinkler_network():
+    """The classic rain/sprinkler/grass network with known posteriors."""
+    net = BayesianNetwork()
+    net.add_node(DiscreteNode("rain", ["no", "yes"], cpt={(): [0.8, 0.2]}))
+    net.add_node(
+        DiscreteNode(
+            "sprinkler",
+            ["off", "on"],
+            parents=["rain"],
+            cpt={("no",): [0.6, 0.4], ("yes",): [0.99, 0.01]},
+        )
+    )
+    net.add_node(
+        DiscreteNode(
+            "grass_wet",
+            ["no", "yes"],
+            parents=["sprinkler", "rain"],
+            cpt={
+                ("off", "no"): [1.0, 0.0],
+                ("off", "yes"): [0.2, 0.8],
+                ("on", "no"): [0.1, 0.9],
+                ("on", "yes"): [0.01, 0.99],
+            },
+        )
+    )
+    net.validate()
+    return net
+
+
+class TestBayesianNetwork:
+    def test_prior_marginal(self):
+        net = sprinkler_network()
+        assert net.query("rain")["yes"] == pytest.approx(0.2)
+
+    def test_known_posterior_rain_given_wet(self):
+        # Standard textbook result: P(rain | grass wet) ~ 0.3577.
+        net = sprinkler_network()
+        posterior = net.query("rain", {"grass_wet": "yes"})
+        assert posterior["yes"] == pytest.approx(0.3577, abs=0.001)
+
+    def test_known_posterior_sprinkler_given_wet(self):
+        # P(sprinkler | grass wet) ~ 0.6467.
+        net = sprinkler_network()
+        posterior = net.query("sprinkler", {"grass_wet": "yes"})
+        assert posterior["on"] == pytest.approx(0.6467, abs=0.001)
+
+    def test_posterior_sums_to_one(self):
+        net = sprinkler_network()
+        posterior = net.query("grass_wet", {"rain": "yes"})
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_evidence_on_target_is_consistent(self):
+        net = sprinkler_network()
+        posterior = net.query("rain", {"rain": "yes"})
+        assert posterior["yes"] == pytest.approx(1.0)
+
+    def test_explaining_away(self):
+        # Learning the sprinkler was on reduces belief in rain.
+        net = sprinkler_network()
+        p_rain_wet = net.query("rain", {"grass_wet": "yes"})["yes"]
+        p_rain_wet_sprinkler = net.query(
+            "rain", {"grass_wet": "yes", "sprinkler": "on"}
+        )["yes"]
+        assert p_rain_wet_sprinkler < p_rain_wet
+
+    def test_rejects_unknown_parent(self):
+        net = BayesianNetwork()
+        with pytest.raises(ValueError):
+            net.add_node(DiscreteNode("a", ["x"], parents=["missing"], cpt={}))
+
+    def test_rejects_duplicate_node(self):
+        net = BayesianNetwork()
+        net.add_node(DiscreteNode("a", ["x"], cpt={(): [1.0]}))
+        with pytest.raises(ValueError):
+            net.add_node(DiscreteNode("a", ["x"], cpt={(): [1.0]}))
+
+    def test_validate_catches_missing_row(self):
+        net = BayesianNetwork()
+        net.add_node(DiscreteNode("a", ["x", "y"], cpt={(): [0.5, 0.5]}))
+        net.add_node(
+            DiscreteNode("b", ["u"], parents=["a"], cpt={("x",): [1.0]})
+        )
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_validate_catches_non_distribution(self):
+        net = BayesianNetwork()
+        net.add_node(DiscreteNode("a", ["x", "y"], cpt={(): [0.7, 0.7]}))
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_rejects_unknown_evidence(self):
+        net = sprinkler_network()
+        with pytest.raises(ValueError):
+            net.query("rain", {"nope": "yes"})
+        with pytest.raises(ValueError):
+            net.query("rain", {"grass_wet": "soaked"})
+
+    def test_rejects_unknown_target(self):
+        net = sprinkler_network()
+        with pytest.raises(ValueError):
+            net.query("nope")
+
+
+class TestSituationInputs:
+    def test_validates_ranges(self):
+        with pytest.raises(ValueError):
+            SituationInputs(1.5, "low", "good", 0.5)
+        with pytest.raises(ValueError):
+            SituationInputs(0.5, "middle", "good", 0.5)
+        with pytest.raises(ValueError):
+            SituationInputs(0.5, "low", "foggy", 0.5)
+        with pytest.raises(ValueError):
+            SituationInputs(0.5, "low", "good", -0.1)
+
+
+class TestSarRiskModel:
+    def test_network_validates(self):
+        build_sar_risk_network().validate()
+
+    def test_low_uncertainty_low_altitude_is_low_risk(self):
+        model = SarRiskModel()
+        result = model.assess(SituationInputs(0.2, "low", "good", 0.1))
+        assert result.criticality is Criticality.LOW
+        assert not result.rescan_recommended
+
+    def test_high_uncertainty_high_altitude_triggers_rescan(self):
+        model = SarRiskModel()
+        result = model.assess(SituationInputs(0.95, "high", "good", 0.3))
+        assert result.criticality is Criticality.HIGH
+        assert result.rescan_recommended
+
+    def test_risk_monotone_in_uncertainty(self):
+        model = SarRiskModel()
+        risks = [
+            model.assess(SituationInputs(u, "high", "good", 0.3)).missed_person_probability
+            for u in (0.2, 0.7, 0.95)
+        ]
+        assert risks[0] < risks[1] < risks[2]
+
+    def test_risk_monotone_in_occupancy_prior(self):
+        model = SarRiskModel()
+        low = model.assess(SituationInputs(0.95, "high", "good", 0.05))
+        high = model.assess(SituationInputs(0.95, "high", "good", 0.9))
+        assert high.missed_person_probability > low.missed_person_probability
+
+    def test_empty_cell_has_zero_missed_person_risk(self):
+        model = SarRiskModel()
+        result = model.assess(SituationInputs(0.95, "high", "poor", 0.0))
+        assert result.missed_person_probability == pytest.approx(0.0)
+        assert result.criticality is Criticality.LOW
+
+    def test_poor_visibility_raises_risk(self):
+        model = SarRiskModel()
+        good = model.assess(SituationInputs(0.7, "high", "good", 0.3))
+        poor = model.assess(SituationInputs(0.7, "high", "poor", 0.3))
+        assert poor.missed_person_probability > good.missed_person_probability
+
+    def test_descending_lowers_risk(self):
+        model = SarRiskModel()
+        high = model.assess(SituationInputs(0.7, "high", "good", 0.3))
+        low = model.assess(SituationInputs(0.7, "low", "good", 0.3))
+        assert low.missed_person_probability < high.missed_person_probability

@@ -1,0 +1,163 @@
+"""Unit tests for dual-modality detection and arrangement analysis."""
+
+import numpy as np
+import pytest
+
+from repro.safedrones.arrangement import (
+    ArrangementAnalysis,
+    is_controllable,
+    regular_airframe,
+)
+from repro.sar.thermal import (
+    DualModalityDetector,
+    LightCondition,
+    fused_accuracy,
+    rgb_accuracy,
+    thermal_accuracy,
+)
+
+
+class TestRgbAccuracy:
+    def test_day_matches_base_model(self):
+        from repro.sar.detection import detection_accuracy
+
+        assert rgb_accuracy(20.0, LightCondition.DAY) == pytest.approx(
+            detection_accuracy(20.0)
+        )
+
+    def test_night_collapses_rgb(self):
+        day = rgb_accuracy(20.0, LightCondition.DAY)
+        night = rgb_accuracy(20.0, LightCondition.NIGHT)
+        assert night < 0.7 < day
+
+    def test_poor_visibility_hurts(self):
+        clear = rgb_accuracy(20.0, LightCondition.DAY, visibility_ok=True)
+        hazy = rgb_accuracy(20.0, LightCondition.DAY, visibility_ok=False)
+        assert hazy < clear
+
+    def test_never_below_chance(self):
+        assert rgb_accuracy(60.0, LightCondition.NIGHT, False) >= 0.5
+
+
+class TestThermalAccuracy:
+    def test_cool_conditions_near_base(self):
+        from repro.sar.detection import detection_accuracy
+
+        assert thermal_accuracy(20.0, ambient_c=10.0) == pytest.approx(
+            detection_accuracy(20.0), abs=0.001
+        )
+
+    def test_hot_ambient_kills_contrast(self):
+        cool = thermal_accuracy(20.0, ambient_c=15.0)
+        hot = thermal_accuracy(20.0, ambient_c=36.0)
+        assert hot < cool
+        assert hot < 0.7
+
+    def test_light_independent(self):
+        # Thermal does not take a light argument at all; sanity-check the
+        # fused behaviour at night instead.
+        night_fused = fused_accuracy(20.0, LightCondition.NIGHT, ambient_c=15.0)
+        assert night_fused > 0.95
+
+
+class TestFusion:
+    def test_fusion_at_least_best_channel(self):
+        for light in LightCondition:
+            for ambient in (10.0, 25.0, 35.0):
+                fused = fused_accuracy(20.0, light, ambient)
+                assert fused >= rgb_accuracy(20.0, light) - 1e-9
+                assert fused >= thermal_accuracy(20.0, ambient) - 1e-9
+
+    def test_night_rescued_by_thermal(self):
+        rgb_night = rgb_accuracy(20.0, LightCondition.NIGHT)
+        fused_night = fused_accuracy(20.0, LightCondition.NIGHT, ambient_c=15.0)
+        assert fused_night > rgb_night + 0.2
+
+    def test_hot_noon_rescued_by_rgb(self):
+        thermal_noon = thermal_accuracy(20.0, ambient_c=36.0)
+        fused_noon = fused_accuracy(20.0, LightCondition.DAY, ambient_c=36.0)
+        assert fused_noon > thermal_noon + 0.2
+
+    def test_worst_case_night_and_hot(self):
+        # Hot night: both channels degraded, fused still above either.
+        fused = fused_accuracy(20.0, LightCondition.NIGHT, ambient_c=34.0)
+        assert 0.5 < fused < 0.95
+
+
+class TestDualModalityDetector:
+    def test_empirical_rate_matches_model(self):
+        detector = DualModalityDetector(
+            rng=np.random.default_rng(0), light=LightCondition.DUSK, ambient_c=20.0
+        )
+        hits = sum(detector.attempt(20.0) for _ in range(5000))
+        assert hits / 5000 == pytest.approx(detector.accuracy(20.0), abs=0.02)
+
+    def test_thermal_loss_degrades_at_night(self):
+        detector = DualModalityDetector(
+            rng=np.random.default_rng(0), light=LightCondition.NIGHT
+        )
+        with_thermal = detector.accuracy(20.0)
+        detector.thermal_available = False
+        without = detector.accuracy(20.0)
+        assert without < with_thermal - 0.2
+
+    def test_modality_report_keys(self):
+        detector = DualModalityDetector(rng=np.random.default_rng(0))
+        report = detector.modality_report(25.0)
+        assert set(report) == {"rgb", "thermal", "fused"}
+        assert report["fused"] >= max(report["rgb"], report["thermal"]) - 1e-9
+
+
+class TestArrangement:
+    def test_rejects_odd_or_tiny_airframes(self):
+        with pytest.raises(ValueError):
+            regular_airframe(5)
+        with pytest.raises(ValueError):
+            regular_airframe(2)
+
+    def test_alternating_spin_balances(self):
+        motors = regular_airframe(6)
+        assert sum(m.spin for m in motors) == 0
+
+    def test_intact_airframes_controllable(self):
+        for n in (4, 6, 8):
+            motors = regular_airframe(n)
+            assert is_controllable(motors, frozenset())
+
+    def test_quad_dies_on_any_single_failure(self):
+        motors = regular_airframe(4)
+        for i in range(4):
+            assert not is_controllable(motors, frozenset({i}))
+
+    def test_hexa_survives_any_single_failure(self):
+        motors = regular_airframe(6)
+        for i in range(6):
+            assert is_controllable(motors, frozenset({i}))
+
+    def test_hexa_two_failures_combination_dependent(self):
+        analysis = ArrangementAnalysis(rotor_count=6)
+        p2 = analysis.survival_by_count[2]
+        assert 0.0 < p2 < 1.0  # some pairs survivable, some fatal
+
+    def test_survival_by_count_monotone(self):
+        analysis = ArrangementAnalysis(rotor_count=6)
+        values = [analysis.survival_by_count[n] for n in range(7)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_guaranteed_vs_max_tolerable(self):
+        quad = ArrangementAnalysis(rotor_count=4)
+        hexa = ArrangementAnalysis(rotor_count=6)
+        octa = ArrangementAnalysis(rotor_count=8)
+        assert quad.guaranteed_tolerable_failures() == 0
+        assert hexa.guaranteed_tolerable_failures() == 1
+        assert octa.guaranteed_tolerable_failures() >= 1
+        assert hexa.max_tolerable_failures() >= 2
+
+    def test_effective_reconfig_success_in_unit_interval(self):
+        analysis = ArrangementAnalysis(rotor_count=6)
+        for k in range(3):
+            assert 0.0 <= analysis.effective_reconfig_success(k) <= 1.0
+
+    def test_first_failure_reconfig_certain_for_hexa(self):
+        analysis = ArrangementAnalysis(rotor_count=6)
+        assert analysis.effective_reconfig_success(0) == pytest.approx(1.0)
