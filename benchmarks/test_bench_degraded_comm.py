@@ -1,0 +1,46 @@
+"""Degraded-comm bench: link loss vs fleet mission availability.
+
+The comm-dimension analogue of the Fig. 5 availability study: sweep the
+Gilbert–Elliott link loss under the night-ops/GPS-denied scenario where
+collaborative localization carries the mission, and report how much
+mission availability the ConSert network can still offer.
+"""
+
+from conftest import print_table, run_once
+
+from repro.experiments.comm_availability import run_comm_availability_experiment
+
+LOSS_RATES = (0.0, 0.2, 0.45, 0.7, 0.85)
+
+
+def test_loss_rate_vs_mission_availability(benchmark):
+    result = run_once(
+        benchmark,
+        run_comm_availability_experiment,
+        loss_rates=LOSS_RATES,
+        seed=7,
+        duration_s=240.0,
+    )
+    print_table(
+        "Degraded comm — link loss vs mission availability",
+        ["loss", "delivery (expected)", "delivery (measured)", "availability",
+         "demotions"],
+        [
+            [f"{loss:.2f}", f"{expected:.3f}", f"{measured:.3f}",
+             f"{availability:.3f}", demotions]
+            for loss, expected, measured, availability, demotions
+            in result.summary_rows()
+        ],
+    )
+    benchmark.extra_info["availability_by_loss"] = {
+        str(p.loss_rate): round(p.availability, 4) for p in result.points
+    }
+    availabilities = [p.availability for p in result.points]
+    # A clean mesh sustains the mission; a collapsed one cannot.
+    assert availabilities[0] > 0.95
+    assert availabilities[-1] < 0.2
+    # Availability never improves as loss climbs.
+    assert all(a >= b - 1e-9 for a, b in zip(availabilities, availabilities[1:]))
+    # The bus's measured delivery tracks the channel's analytic ratio.
+    for point in result.points:
+        assert abs(point.measured_delivery - point.expected_delivery) < 0.1

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig6          # spoofing trajectory deviation
     python -m repro fig7          # collaborative safe landing
     python -m repro conserts      # Fig. 1 scenario matrix
+    python -m repro comm          # degraded-comm availability sweep
 """
 
 from __future__ import annotations
@@ -66,6 +67,18 @@ def _run_fig7(seed: int) -> None:
     print(f"baseline (no CL):      {result.baseline_error_m:.2f} m")
 
 
+def _run_comm(seed: int) -> None:
+    from repro.experiments import run_comm_availability_experiment
+
+    result = run_comm_availability_experiment(seed=seed)
+    print("loss    delivery (exp/meas)   availability   demotions")
+    for loss, expected, measured, availability, demotions in result.summary_rows():
+        print(
+            f"{loss:<7.2f} {expected:.3f} / {measured:.3f}"
+            f"        {availability:<14.3f} {demotions}"
+        )
+
+
 def _run_conserts(seed: int) -> None:
     from repro.experiments import run_conserts_scenario_matrix
 
@@ -85,6 +98,7 @@ COMMANDS = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "conserts": _run_conserts,
+    "comm": _run_comm,
 }
 
 
@@ -106,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     defaults = {"fig4": 42, "fig5": 3, "sar-accuracy": 5, "fig6": 9, "fig7": 13,
-                "conserts": 0}
+                "conserts": 0, "comm": 7}
     seed = args.seed if args.seed is not None else defaults[args.experiment]
     COMMANDS[args.experiment](seed)
     return 0

@@ -36,7 +36,13 @@ from repro.core.eddi import Eddi, EddiResponse, MonitorAdapter
 from repro.core.uav_network import UavConSertNetwork, UavGuarantee
 from repro.core.ode import OdePackage
 from repro.core.assurance import AssuranceCase, Goal, Solution, Strategy
-from repro.core.adapters import MonitorStack, build_fleet_eddis, build_uav_eddi
+from repro.core.adapters import (
+    MonitorStack,
+    PeerTelemetryMonitor,
+    attach_degraded_comm,
+    build_fleet_eddis,
+    build_uav_eddi,
+)
 from repro.core.responses import FleetResponseCoordinator, StandardResponsePolicy
 from repro.core.analysis import (
     ValidationResult,
@@ -81,6 +87,8 @@ __all__ = [
     "guarantee_reachability",
     "validate_composition",
     "MonitorStack",
+    "PeerTelemetryMonitor",
+    "attach_degraded_comm",
     "build_fleet_eddis",
     "build_uav_eddi",
     "FleetResponseCoordinator",

@@ -28,10 +28,45 @@ class MonitorAdapter:
     ``update(now)`` must sample the technology and push fresh evidence
     into the ConSert network (typically via the network's setters,
     captured in a closure).
+
+    Adapters fed by telemetry that may stop flowing (anything crossing the
+    inter-UAV mesh) additionally declare ``max_staleness_s``: ``update``
+    then returns True when it saw fresh data this cycle and False when it
+    is re-serving old state. The EDDI keeps a ``last_update`` watermark
+    and, once the watermark ages past ``max_staleness_s``, calls
+    ``on_stale(True)`` every cycle so the adapter can push pessimistic
+    evidence (demoting the ConSert guarantee) instead of silently
+    reasoning over stale data; ``on_stale(False)`` fires once on
+    recovery. ``update`` returning None (the historical signature) counts
+    as fresh, so existing adapters are unaffected.
     """
 
     name: str
-    update: Callable[[float], None]
+    update: Callable[[float], "bool | None"]
+    max_staleness_s: float | None = None
+    on_stale: Callable[[bool], None] | None = None
+    last_update: float | None = None
+    stale: bool = False
+
+    def observe(self, now: float) -> None:
+        """Run one cycle: sample, refresh the watermark, police staleness."""
+        fresh = self.update(now)
+        if fresh is None:
+            fresh = True
+        if fresh or self.last_update is None:
+            # First cycle grants a full staleness window before demotion.
+            self.last_update = now
+        if self.max_staleness_s is None:
+            return
+        was_stale = self.stale
+        self.stale = now - self.last_update > self.max_staleness_s
+        if self.on_stale is not None:
+            if self.stale:
+                # Re-assert every stale cycle: the pessimistic evidence must
+                # win over whatever the regular update path just wrote.
+                self.on_stale(True)
+            elif was_stale:
+                self.on_stale(False)
 
 
 @dataclass(frozen=True)
@@ -70,7 +105,7 @@ class Eddi:
     def step(self, now: float) -> UavGuarantee:
         """Run one monitor/diagnose/respond cycle; returns the guarantee."""
         for adapter in self.adapters:
-            adapter.update(now)
+            adapter.observe(now)
         guarantee = self.network.evaluate()
         self.guarantee_trace.append((now, guarantee))
         if guarantee is not self.current_guarantee:
@@ -83,6 +118,10 @@ class Eddi:
             if callback is not None:
                 callback(response)
         return guarantee
+
+    def stale_adapters(self) -> list[MonitorAdapter]:
+        """Adapters currently past their evidence-staleness window."""
+        return [a for a in self.adapters if a.stale]
 
     def time_in_guarantee(self, guarantee: UavGuarantee) -> float:
         """Total simulated time spent offering ``guarantee``.

@@ -130,12 +130,23 @@ class UavConSertNetwork:
         self._ev_neighbors = RuntimeEvidence(
             "nearby_uavs_available", True, ">=1 collaborator within CL range"
         )
+        self._ev_telemetry_fresh = RuntimeEvidence(
+            "peer_telemetry_fresh",
+            True,
+            "peer telemetry received within the staleness window",
+        )
         self.comm_localization = ConSert(
             name=f"{self.uav_id}/comm_localization",
             guarantees=[
                 Guarantee(
                     "comm_localization_ok",
-                    AndNode([self._ev_comm_ok, self._ev_neighbors]),
+                    AndNode(
+                        [
+                            self._ev_comm_ok,
+                            self._ev_neighbors,
+                            self._ev_telemetry_fresh,
+                        ]
+                    ),
                     "Collaborative navigation accuracy < 0.75 m",
                 ),
                 Guarantee("comm_localization_unavailable", None),
@@ -313,6 +324,10 @@ class UavConSertNetwork:
     def set_nearby_uavs_available(self, available: bool) -> None:
         """Whether >=1 collaborator is within CL range."""
         self._ev_neighbors.set(available)
+
+    def set_peer_telemetry_fresh(self, fresh: bool) -> None:
+        """Whether peer telemetry arrived within the staleness window."""
+        self._ev_telemetry_fresh.set(fresh)
 
     def set_drone_detection_ok(self, ok: bool) -> None:
         """Vision-based nearby-drone detection state."""

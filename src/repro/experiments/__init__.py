@@ -18,6 +18,11 @@ from repro.experiments.conserts_network import (
 )
 from repro.experiments.monte_carlo import MonteCarloResult, run_monte_carlo_fig5
 from repro.experiments.fig4_platform import Fig4Result, run_fig4_platform_demo
+from repro.experiments.comm_availability import (
+    CommAvailabilityResult,
+    CommSweepPoint,
+    run_comm_availability_experiment,
+)
 
 __all__ = [
     "Fig5Result",
@@ -34,4 +39,7 @@ __all__ = [
     "run_monte_carlo_fig5",
     "Fig4Result",
     "run_fig4_platform_demo",
+    "CommAvailabilityResult",
+    "CommSweepPoint",
+    "run_comm_availability_experiment",
 ]

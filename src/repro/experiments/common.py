@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geo import EnuFrame, GeoPoint
+from repro.middleware.rosbus import RosBus
 from repro.uav.uav import Uav, UavSpec
 from repro.uav.world import World
 
@@ -24,18 +25,23 @@ def build_three_uav_world(
     area_size_m: tuple[float, float] = (400.0, 300.0),
     dt: float = 0.5,
     n_persons: int = 8,
+    bus: RosBus | None = None,
 ) -> FleetScenario:
     """Create the paper's three-UAV setup on a fresh world.
 
     UAVs start at spaced base positions along the south edge, matching the
-    platform demonstration of Fig. 4.
+    platform demonstration of Fig. 4. Pass ``bus`` to run the fleet over a
+    custom transport (e.g. a :class:`~repro.middleware.degraded.DegradedBus`);
+    the default is the perfect in-process bus.
     """
     rng = np.random.default_rng(seed)
+    kwargs = {} if bus is None else {"bus": bus}
     world = World(
         frame=EnuFrame(origin=GeoPoint(35.1456, 33.4299, 0.0)),
         rng=rng,
         area_size_m=area_size_m,
         dt=dt,
+        **kwargs,
     )
     uav_ids = ("uav1", "uav2", "uav3")
     for i, uav_id in enumerate(uav_ids):

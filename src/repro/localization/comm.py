@@ -122,10 +122,24 @@ class CommLocalizer:
         result = None
         best_cost = math.inf
         for start in starts:
-            candidate = least_squares(residuals, start)
+            try:
+                candidate = least_squares(residuals, start)
+            except (ValueError, np.linalg.LinAlgError):
+                # Degenerate geometry (e.g. coincident anchors) can make a
+                # start fail outright; the remaining starts may still fit.
+                continue
             if candidate.cost < best_cost:
                 best_cost = candidate.cost
                 result = candidate
+        if result is None:
+            # Every start failed: report a non-converged fix at the guess
+            # rather than raising mid-mission.
+            return MultilaterationFix(
+                enu=tuple(float(v) for v in initial_guess),
+                residual_rms_m=math.inf,
+                n_anchors=len(measurements),
+                converged=False,
+            )
         weighted = residuals(result.x)
         # Exclude the prior term from the reported measurement residual.
         n_meas = len(measurements)
@@ -155,6 +169,7 @@ class CommLocalizationService:
     window_s: float = 1.5
     measurements: list[RangeMeasurement] = field(default_factory=list)
     last_fix: MultilaterationFix | None = None
+    link_up: bool = True
 
     def update(
         self,
@@ -163,11 +178,19 @@ class CommLocalizationService:
         target_enu: tuple[float, float, float],
         altitude_prior: float | None = None,
     ) -> MultilaterationFix | None:
-        """Range to all anchors, then attempt a solve."""
-        for anchor_id, anchor_enu in anchors.items():
-            measurement = self.ranging.measure(anchor_id, anchor_enu, target_enu, now)
-            if measurement is not None:
-                self.measurements.append(measurement)
+        """Range to all anchors, then attempt a solve.
+
+        While the transport reports the link down no new ranging
+        exchanges happen (the radio is the ranging instrument); the solve
+        then runs on whatever is left inside the sliding window.
+        """
+        if self.link_up:
+            for anchor_id, anchor_enu in anchors.items():
+                measurement = self.ranging.measure(
+                    anchor_id, anchor_enu, target_enu, now
+                )
+                if measurement is not None:
+                    self.measurements.append(measurement)
         cutoff = now - self.window_s
         self.measurements = [m for m in self.measurements if m.stamp >= cutoff]
         guess = self.last_fix.enu if self.last_fix is not None else target_enu
@@ -177,7 +200,22 @@ class CommLocalizationService:
             self.last_fix = fix
         return fix
 
+    def set_link_state(self, up: bool) -> None:
+        """Feed the transport-level link verdict (e.g. from a
+        :class:`~repro.middleware.reliable.ReliableChannel` timeout or a
+        :class:`~repro.core.adapters.PeerTelemetryMonitor`). While the
+        link is down, ``link_ok`` is False no matter how many recent
+        measurements are still inside the sliding window."""
+        self.link_up = up
+
     @property
     def link_ok(self) -> bool:
-        """Whether enough live anchors back the ConSert guarantee."""
+        """Whether the ConSert guarantee is backed by live connectivity.
+
+        Requires both enough distinct live anchors in the window *and* a
+        transport layer that still reports the links up — measurement
+        counts alone can lag a blackout by a full window.
+        """
+        if not self.link_up:
+            return False
         return len({m.anchor_id for m in self.measurements}) >= 3

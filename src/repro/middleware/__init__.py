@@ -6,10 +6,18 @@ This subpackage provides an in-process topic bus with per-message provenance
 so that the intrusion-detection system and Security EDDI can observe and
 classify traffic, plus attack injectors that reproduce the spoofing,
 man-in-the-middle, and eavesdropping threat models the paper cites.
+
+The degraded-link layer (:mod:`repro.middleware.degraded`) inserts lossy,
+delayed, partitionable per-UAV-pair links under the same bus API, and
+:mod:`repro.middleware.reliable` provides ack/retry delivery with an
+explicit link-down signal on top — the realistic mesh transport the
+Communication-based Localization ConSert monitors.
 """
 
 from repro.middleware.rosbus import Message, RosBus, Subscription, TrafficLog
 from repro.middleware.auth import MessageSigner, SignedPayload, VerifyingSubscriber
+from repro.middleware.degraded import DegradedBus, LinkModel, LinkStats
+from repro.middleware.reliable import ReliableChannel, ReliableChannelStats
 from repro.middleware.attacks import (
     Attacker,
     EavesdropAttack,
@@ -22,6 +30,11 @@ __all__ = [
     "RosBus",
     "Subscription",
     "TrafficLog",
+    "DegradedBus",
+    "LinkModel",
+    "LinkStats",
+    "ReliableChannel",
+    "ReliableChannelStats",
     "Attacker",
     "EavesdropAttack",
     "MitmAttack",

@@ -3,7 +3,9 @@
 The SESAME technologies exist to handle faults; this framework injects
 them reproducibly: each :class:`Fault` manifests at a scheduled time on a
 target UAV (motor loss, GPS denial, camera degradation, IMU failure,
-battery collapse), and a :class:`FaultSchedule` steps the whole campaign
+battery collapse, and — over a :class:`~repro.middleware.degraded.DegradedBus`
+— comm blackouts, link degradation, and network partitions), and a
+:class:`FaultSchedule` steps the whole campaign
 alongside the world — the harness behind failure-injection test suites
 and resilience benchmarks.
 """
@@ -13,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.middleware.degraded import DegradedBus
 from repro.uav.battery import BatteryFault
 from repro.uav.uav import Uav
 
@@ -29,6 +32,11 @@ class Fault:
     clear_at_time: float | None = None
     applied: bool = False
     cleared: bool = False
+
+    @property
+    def done(self) -> bool:
+        """Whether this fault has fully run its course (no pending action)."""
+        return self.applied and (self.clear is None or self.cleared)
 
     def step(self, now: float, uav: Uav) -> bool:
         """Apply/clear when due; returns True if a transition happened."""
@@ -131,6 +139,96 @@ def battery_collapse(target_uav: str, at_time: float, soc_drop_to: float = 0.4) 
     )
 
 
+def comm_blackout(
+    bus: DegradedBus, target_uav: str, at_time: float, duration_s: float
+) -> Fault:
+    """Total radio blackout of one UAV for ``duration_s`` seconds.
+
+    While active nothing reaches or leaves the target over the degraded
+    bus — its peers' evidence-staleness watermarks expire and their
+    ConSerts demote, exactly the Communication-based Localization path.
+    """
+
+    def apply(uav: Uav) -> None:
+        bus.set_node_down(target_uav, True)
+
+    def clear(uav: Uav) -> None:
+        bus.set_node_down(target_uav, False)
+
+    return Fault(
+        name="comm_blackout",
+        target_uav=target_uav,
+        at_time=at_time,
+        apply=apply,
+        clear=clear,
+        clear_at_time=at_time + duration_s,
+    )
+
+
+def comm_degradation(
+    bus: DegradedBus,
+    target_uav: str,
+    at_time: float,
+    loss_probability: float = 0.5,
+    duration_s: float | None = None,
+) -> Fault:
+    """Sustained packet loss on every link to/from one UAV.
+
+    Models interference or antenna damage: each packet touching the
+    target is additionally dropped with ``loss_probability``; optionally
+    restored after ``duration_s``.
+    """
+
+    def apply(uav: Uav) -> None:
+        bus.set_node_loss(target_uav, loss_probability)
+
+    def clear(uav: Uav) -> None:
+        bus.set_node_loss(target_uav, 0.0)
+
+    return Fault(
+        name="comm_degradation",
+        target_uav=target_uav,
+        at_time=at_time,
+        apply=apply,
+        clear=clear if duration_s is not None else None,
+        clear_at_time=at_time + duration_s if duration_s is not None else None,
+    )
+
+
+def network_partition(
+    bus: DegradedBus,
+    group_a: tuple[str, ...],
+    group_b: tuple[str, ...],
+    at_time: float,
+    duration_s: float | None = None,
+) -> Fault:
+    """Split the fleet into two groups that cannot hear each other.
+
+    Models geographic separation or a relay failure. The fault is
+    scheduled on the first UAV of ``group_a`` (the schedule needs a
+    target) but affects all cross-group traffic.
+    """
+    if not group_a or not group_b:
+        raise ValueError("both partition groups need at least one node")
+    handle_box: list = []
+
+    def apply(uav: Uav) -> None:
+        handle_box.append(bus.add_partition(tuple(group_a), tuple(group_b)))
+
+    def clear(uav: Uav) -> None:
+        if handle_box:
+            bus.remove_partition(handle_box.pop())
+
+    return Fault(
+        name="network_partition",
+        target_uav=group_a[0],
+        at_time=at_time,
+        apply=apply,
+        clear=clear if duration_s is not None else None,
+        clear_at_time=at_time + duration_s if duration_s is not None else None,
+    )
+
+
 @dataclass
 class FaultSchedule:
     """A reproducible fault campaign over a fleet."""
@@ -138,17 +236,34 @@ class FaultSchedule:
     faults: list[Fault] = field(default_factory=list)
     log: list[tuple[float, str, str]] = field(default_factory=list)
 
-    def add(self, fault: Fault) -> Fault:
-        """Register one fault."""
+    def add(self, fault: Fault, uavs: dict[str, Uav] | None = None) -> Fault:
+        """Register one fault.
+
+        Pass the fleet as ``uavs`` to validate the target eagerly — the
+        one place a typo'd UAV id should fail, instead of blowing up an
+        already-running campaign from :meth:`step`.
+        """
+        if uavs is not None and fault.target_uav not in uavs:
+            raise KeyError(f"fault targets unknown UAV {fault.target_uav!r}")
         self.faults.append(fault)
         return fault
 
     def step(self, now: float, uavs: dict[str, Uav]) -> None:
-        """Apply all due faults; unknown targets raise."""
+        """Apply all due faults.
+
+        Completed faults are skipped outright, and a fault whose target is
+        (currently) absent from ``uavs`` simply waits — fleets change
+        mid-campaign (UAVs land, swap batteries, get decommissioned) and
+        that must not crash the run. Validate targets up front via
+        ``add(fault, uavs)``.
+        """
         for fault in self.faults:
-            if fault.target_uav not in uavs:
-                raise KeyError(f"fault targets unknown UAV {fault.target_uav!r}")
-            if fault.step(now, uavs[fault.target_uav]):
+            if fault.done:
+                continue
+            uav = uavs.get(fault.target_uav)
+            if uav is None:
+                continue
+            if fault.step(now, uav):
                 state = "cleared" if fault.cleared else "applied"
                 self.log.append((now, fault.name, state))
 

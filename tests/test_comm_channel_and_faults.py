@@ -182,12 +182,31 @@ class TestFaultInjection:
         assert uav.battery.faulted
         assert uav.battery.soc <= 0.31
 
-    def test_unknown_target_raises(self):
+    def test_unknown_target_rejected_at_add(self):
         world = self.setup_world()
         schedule = FaultSchedule()
-        schedule.add(imu_failure("ghost", at_time=0.0))
         with pytest.raises(KeyError):
-            schedule.step(1.0, world.uavs)
+            schedule.add(imu_failure("ghost", at_time=0.0), world.uavs)
+
+    def test_step_tolerates_fleet_changes(self):
+        """A fault whose target left the fleet waits instead of crashing."""
+        world = self.setup_world()
+        schedule = FaultSchedule()
+        schedule.add(imu_failure("uav1", at_time=1.0), world.uavs)
+        schedule.add(imu_failure("uav2", at_time=50.0), world.uavs)
+        while world.time < 3.0:
+            world.step()
+            schedule.step(world.time, world.uavs)
+        assert not world.uavs["uav1"].sensors.imu.healthy
+        # uav1's fault is done and uav2 gets decommissioned: neither the
+        # done fault nor the now-targetless pending one may crash step().
+        removed = world.uavs.pop("uav2")
+        schedule.step(60.0, world.uavs)
+        assert removed.sensors.imu.healthy
+        # The fleet change heals: re-registering the UAV lets it fire.
+        world.uavs["uav2"] = removed
+        schedule.step(61.0, world.uavs)
+        assert not removed.sensors.imu.healthy
 
     def test_all_applied_flag(self):
         world = self.setup_world()

@@ -102,7 +102,87 @@ class TestRosBus:
         bus.traffic._capacity = 10
         for i in range(11):
             bus.publish("/t", i, sender="s")
-        assert len(bus.traffic) <= 10
+        # Crossing capacity evicts the oldest half in one batch: 0..4 go,
+        # 5..10 survive in their original order.
+        assert [m.data for m in bus.traffic] == [5, 6, 7, 8, 9, 10]
+        # The log refills until it crosses capacity again (at data=15),
+        # then evicts another oldest-half batch.
+        for i in range(11, 15):
+            bus.publish("/t", i, sender="s")
+        assert len(bus.traffic) == 10
+        bus.publish("/t", 15, sender="s")
+        assert [m.data for m in bus.traffic] == list(range(10, 16))
+
+    def test_interceptors_run_in_order_and_drop_short_circuits(self):
+        bus = RosBus()
+        received, calls = [], []
+        bus.subscribe("/t", "n", received.append)
+
+        def replace(message):
+            calls.append("replace")
+            return Message(
+                topic=message.topic, data=message.data + 100,
+                sender=message.sender, origin="mitm", stamp=message.stamp,
+                seq=message.seq,
+            )
+
+        def drop_odd(message):
+            calls.append("drop")
+            return None if message.data % 2 else message
+
+        bus.add_interceptor(replace)
+        bus.add_interceptor(drop_odd)
+        kept = bus.publish("/t", 2, sender="uav1")
+        # The second interceptor saw the first one's replacement...
+        assert kept.data == 102 and kept.origin == "mitm"
+        dropped = bus.publish("/t", 3, sender="uav1")
+        assert dropped is None
+        # ...and a drop hides the message from subscribers AND the log.
+        assert [m.data for m in received] == [102]
+        assert [m.data for m in bus.traffic] == [102]
+        assert calls == ["replace", "drop", "replace", "drop"]
+
+    def test_drop_before_replace_never_reaches_second_interceptor(self):
+        bus = RosBus()
+        calls = []
+        bus.add_interceptor(lambda m: calls.append("drop") or None)
+        bus.add_interceptor(lambda m: calls.append("late") or m)
+        assert bus.publish("/t", 1, sender="s") is None
+        assert calls == ["drop"]  # short-circuit: the chain stops at None
+
+    def test_unsubscribe_mid_publish_skips_later_subscriber(self, bus):
+        received = []
+        subs = {}
+
+        def first(message):
+            received.append("first")
+            subs["second"].unsubscribe()
+
+        subs["second"] = None
+        bus.subscribe("/t", "n1", first)
+        subs["second"] = bus.subscribe("/t", "n2", lambda m: received.append("second"))
+        bus.publish("/t", 1, sender="s")
+        # The snapshot in publish() still honours the deactivation: the
+        # second callback must not fire after its unsubscribe.
+        assert received == ["first"]
+        bus.publish("/t", 2, sender="s")
+        assert received == ["first", "first"]
+
+    def test_resubscribe_after_mid_publish_unsubscribe(self, bus):
+        received = []
+        sub = bus.subscribe("/t", "n", received.append)
+
+        def nuke_then_resubscribe(message):
+            sub.unsubscribe()
+
+        bus.subscribe("/t", "killer", nuke_then_resubscribe)
+        bus.publish("/t", 1, sender="s")
+        assert [m.data for m in received] == [1]  # delivered before the kill
+        bus.publish("/t", 2, sender="s")
+        assert [m.data for m in received] == [1]
+        bus.subscribe("/t", "n", received.append)
+        bus.publish("/t", 3, sender="s")
+        assert [m.data for m in received] == [1, 3]
 
 
 class TestSpoofingAttack:
