@@ -10,6 +10,9 @@ Usage::
     python -m repro fig7          # collaborative safe landing
     python -m repro conserts      # Fig. 1 scenario matrix
     python -m repro comm          # degraded-comm availability sweep
+
+    python -m repro campaign list                      # sweep catalogue
+    python -m repro campaign monte-carlo --workers 4   # sharded sweep
 """
 
 from __future__ import annotations
@@ -102,27 +105,95 @@ COMMANDS = {
 }
 
 
+def _run_campaign_cli(args: argparse.Namespace) -> int:
+    """``python -m repro campaign <experiment>``: a sharded, cached sweep."""
+    from repro.experiments.campaigns import get_experiment, list_experiments
+    from repro.harness.campaign import run_campaign
+
+    if args.campaign_experiment == "list":
+        for experiment in list_experiments():
+            print(f"{experiment.name:<14} {experiment.describe}")
+        return 0
+    try:
+        experiment = get_experiment(args.campaign_experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    result = run_campaign(
+        experiment,
+        grid=args.grid,
+        root_seed=args.seed,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        manifest_path=args.manifest,
+    )
+    totals = result.manifest["totals"]
+    print(
+        f"campaign {result.experiment} grid={result.grid} "
+        f"root_seed={result.root_seed} workers={result.workers}"
+    )
+    print(
+        f"samples: {totals['samples']} ({totals['cached']} cached)  "
+        f"wall: {totals['wall_s']:.2f} s  fingerprint: {result.fingerprint}"
+    )
+    if result.manifest_path is not None:
+        print(f"manifest: {result.manifest_path}")
+    if experiment.summarize is not None:
+        print(experiment.summarize(result))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run a paper experiment from the SESAME reproduction.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(COMMANDS) + ["list"],
-        help="experiment to run, or 'list' to enumerate",
+    sub = parser.add_subparsers(dest="command", required=True)
+    defaults = {"fig4": 42, "fig5": 3, "sar-accuracy": 5, "fig6": 9, "fig7": 13,
+                "conserts": 0, "comm": 7}
+    for name in sorted(COMMANDS):
+        single = sub.add_parser(name, help=f"run the {name} experiment")
+        single.add_argument(
+            "--seed", type=int, default=defaults[name], help="override the seed"
+        )
+    sub.add_parser("list", help="enumerate the single-run experiments")
+
+    campaign = sub.add_parser(
+        "campaign", help="run a sharded, cached experiment sweep"
     )
-    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    campaign.add_argument(
+        "campaign_experiment",
+        metavar="experiment",
+        help="campaign name (or 'list' for the catalogue)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1)"
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=0, help="campaign root seed (default 0)"
+    )
+    campaign.add_argument(
+        "--grid", default="default", help="grid preset: smoke/default/full"
+    )
+    campaign.add_argument(
+        "--cache-dir", default=".repro-cache", help="result cache directory"
+    )
+    campaign.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    campaign.add_argument(
+        "--manifest", default=None, help="write the run manifest JSON here"
+    )
+
     args = parser.parse_args(argv)
-    if args.experiment == "list":
+    if args.command == "list":
         for name in sorted(COMMANDS):
             print(name)
         return 0
-    defaults = {"fig4": 42, "fig5": 3, "sar-accuracy": 5, "fig6": 9, "fig7": 13,
-                "conserts": 0, "comm": 7}
-    seed = args.seed if args.seed is not None else defaults[args.experiment]
-    COMMANDS[args.experiment](seed)
+    if args.command == "campaign":
+        return _run_campaign_cli(args)
+    COMMANDS[args.command](args.seed)
     return 0
 
 

@@ -29,6 +29,13 @@ import numpy as np
 from repro.core.adapters import attach_degraded_comm, build_uav_eddi
 from repro.core.uav_network import UavGuarantee
 from repro.experiments.common import build_three_uav_world
+from repro.harness.campaign import (
+    CampaignExperiment,
+    CampaignResult,
+    register_experiment,
+    run_campaign,
+)
+from repro.harness.timing import PhaseTimer
 from repro.middleware.degraded import DegradedBus, LinkModel
 from repro.safedrones.communication import GilbertElliottChannel
 from repro.uav.uav import FlightMode
@@ -148,16 +155,118 @@ def _run_point(
     )
 
 
+def comm_availability_sample(config: dict, seed: int, timer: PhaseTimer) -> dict:
+    """One campaign sample: a full mission at one link-loss level.
+
+    ``config`` may pin an explicit ``seed`` (the figure-style sweep runs
+    every loss level at the same scenario seed so the loss axis is the
+    only thing that varies); otherwise the harness-assigned per-sample
+    stream seed is used.
+    """
+    run_seed = int(config.get("seed", seed))
+    with timer.phase("simulate"):
+        point = _run_point(
+            float(config["loss_rate"]),
+            run_seed,
+            float(config["duration_s"]),
+            float(config["staleness_s"]),
+        )
+    return {
+        "seed": run_seed,
+        "loss_rate": point.loss_rate,
+        "expected_delivery": point.expected_delivery,
+        "measured_delivery": point.measured_delivery,
+        "availability": point.availability,
+        "demotions": point.demotions,
+        "duration_s": float(config["duration_s"]),
+        "staleness_s": float(config["staleness_s"]),
+    }
+
+
+def comm_availability_grid(preset: str) -> list[dict]:
+    """Loss-level grids; smoke trades duration for CI turnaround."""
+    if preset == "smoke":
+        losses, duration = (0.0, 0.45, 0.85), 60.0
+    elif preset == "default":
+        losses, duration = (0.0, 0.2, 0.45, 0.7, 0.85), 240.0
+    elif preset == "full":
+        losses, duration = tuple(i / 10 for i in range(10)), 240.0
+    else:
+        raise ValueError(f"unknown comm grid preset {preset!r}")
+    return [
+        {"loss_rate": loss, "duration_s": duration, "staleness_s": 4.0}
+        for loss in losses
+    ]
+
+
+def result_from_campaign(campaign: CampaignResult) -> CommAvailabilityResult:
+    """Reassemble the sweep result object from campaign sample records."""
+    points = tuple(
+        CommSweepPoint(
+            loss_rate=r["loss_rate"],
+            expected_delivery=r["expected_delivery"],
+            measured_delivery=r["measured_delivery"],
+            availability=r["availability"],
+            demotions=r["demotions"],
+        )
+        for r in campaign.results
+    )
+    first = campaign.results[0] if campaign.results else {}
+    return CommAvailabilityResult(
+        points=points,
+        duration_s=first.get("duration_s", 0.0),
+        staleness_s=first.get("staleness_s", 0.0),
+    )
+
+
+def summarize_comm(campaign: CampaignResult) -> str:
+    """The loss/delivery/availability table for the CLI."""
+    lines = ["loss    delivery (exp/meas)   availability   demotions"]
+    for r in campaign.results:
+        lines.append(
+            f"{r['loss_rate']:<7.2f} {r['expected_delivery']:.3f} /"
+            f" {r['measured_delivery']:.3f}        "
+            f"{r['availability']:<14.3f} {r['demotions']}"
+        )
+    return "\n".join(lines)
+
+
+COMM_CAMPAIGN = register_experiment(
+    CampaignExperiment(
+        name="comm",
+        sample_fn=comm_availability_sample,
+        grids=comm_availability_grid,
+        describe="degraded-link mission availability loss sweep",
+        summarize=summarize_comm,
+    )
+)
+
+
 def run_comm_availability_experiment(
     loss_rates: tuple[float, ...] = (0.0, 0.2, 0.45, 0.7, 0.85),
     seed: int = 7,
     duration_s: float = 240.0,
     staleness_s: float = 4.0,
+    workers: int = 1,
+    cache_dir=None,
 ) -> CommAvailabilityResult:
-    """Sweep link loss and report fleet mission availability per level."""
-    points = tuple(
-        _run_point(loss, seed, duration_s, staleness_s) for loss in loss_rates
+    """Sweep link loss and report fleet mission availability per level.
+
+    Runs through the campaign engine — pass ``workers`` to shard the
+    loss levels across processes (identical results at any worker count)
+    and ``cache_dir`` to skip already-completed points. Every level runs
+    at the same scenario ``seed``, matching the figure's construction.
+    """
+    configs = [
+        {
+            "loss_rate": loss,
+            "duration_s": duration_s,
+            "staleness_s": staleness_s,
+            "seed": seed,
+        }
+        for loss in loss_rates
+    ]
+    campaign = run_campaign(
+        COMM_CAMPAIGN, grid=configs, workers=workers, cache_dir=cache_dir
     )
-    return CommAvailabilityResult(
-        points=points, duration_s=duration_s, staleness_s=staleness_s
-    )
+    return result_from_campaign(campaign)

@@ -20,19 +20,37 @@ class FleetScenario:
     uav_ids: tuple[str, ...]
 
 
+def uav_rng_streams(seed: int, n_uavs: int) -> list[np.random.Generator]:
+    """Independent per-UAV generators spawned from the scenario seed.
+
+    Stream ``i`` is fully determined by ``(seed, spawn_key=(i,))`` — a
+    :meth:`numpy.random.SeedSequence.spawn` child — so UAV ``i``'s draws
+    do not depend on how many UAVs the fleet contains or on any other
+    UAV's consumption. Adding, removing, or reordering fleet members
+    therefore never perturbs an existing UAV's noise sequence (with one
+    shared generator, every downstream draw shifted).
+    """
+    children = np.random.SeedSequence(seed).spawn(n_uavs)
+    return [np.random.default_rng(child) for child in children]
+
+
 def build_three_uav_world(
     seed: int = 0,
     area_size_m: tuple[float, float] = (400.0, 300.0),
     dt: float = 0.5,
     n_persons: int = 8,
     bus: RosBus | None = None,
+    n_uavs: int = 3,
 ) -> FleetScenario:
     """Create the paper's three-UAV setup on a fresh world.
 
     UAVs start at spaced base positions along the south edge, matching the
     platform demonstration of Fig. 4. Pass ``bus`` to run the fleet over a
     custom transport (e.g. a :class:`~repro.middleware.degraded.DegradedBus`);
-    the default is the perfect in-process bus.
+    the default is the perfect in-process bus. ``n_uavs`` extends (or
+    shrinks) the fleet along the same south-edge spacing; the world keeps
+    its own generator and each UAV gets an independent spawned stream, so
+    the fleet size never changes an existing UAV's draws.
     """
     rng = np.random.default_rng(seed)
     kwargs = {} if bus is None else {"bus": bus}
@@ -43,14 +61,16 @@ def build_three_uav_world(
         dt=dt,
         **kwargs,
     )
-    uav_ids = ("uav1", "uav2", "uav3")
-    for i, uav_id in enumerate(uav_ids):
+    uav_ids = tuple(f"uav{i + 1}" for i in range(n_uavs))
+    for i, (uav_id, uav_rng) in enumerate(
+        zip(uav_ids, uav_rng_streams(seed, n_uavs))
+    ):
         base = (30.0 + 150.0 * i, -20.0, 0.0)
         uav = Uav(
             spec=UavSpec(uav_id=uav_id, base_position=base),
             frame=world.frame,
             bus=world.bus,
-            rng=rng,
+            rng=uav_rng,
         )
         world.add_uav(uav)
     if n_persons > 0:

@@ -1,0 +1,56 @@
+"""Deterministic parallel campaign runner.
+
+The experiment drivers under :mod:`repro.experiments` each answer one
+paper question at one scenario point; the studies that back the paper's
+sweep-style evidence (Fig. 5 Monte Carlo, comm-availability loss sweep)
+run hundreds of points. This package shards any such grid across a
+``multiprocessing`` worker pool while keeping the results *bit-identical*
+regardless of worker count or scheduling order:
+
+- every sample owns an independent RNG stream derived up-front via
+  :meth:`numpy.random.SeedSequence.spawn` (:mod:`repro.harness.seeding`);
+- completed points are cached on disk under a stable hash of
+  (experiment, config, seed, code version) (:mod:`repro.harness.cache`);
+- each run emits a JSON manifest recording per-sample seed, config,
+  wall time, worker id and phase timings (:mod:`repro.harness.manifest`),
+  so any single sample can be reproduced in isolation and the manifest
+  doubles as a coarse profile.
+
+Entry points: :func:`repro.harness.campaign.run_campaign` and the
+``python -m repro campaign <experiment>`` CLI.
+"""
+
+from repro.harness.campaign import (
+    CampaignExperiment,
+    CampaignResult,
+    SampleRecord,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    run_campaign,
+)
+from repro.harness.cache import ResultCache, code_fingerprint, stable_hash
+from repro.harness.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    manifest_fingerprint,
+    write_manifest,
+)
+from repro.harness.seeding import spawn_sample_seeds
+from repro.harness.timing import PhaseTimer
+
+__all__ = [
+    "CampaignExperiment",
+    "CampaignResult",
+    "MANIFEST_SCHEMA_VERSION",
+    "PhaseTimer",
+    "ResultCache",
+    "SampleRecord",
+    "code_fingerprint",
+    "get_experiment",
+    "list_experiments",
+    "manifest_fingerprint",
+    "register_experiment",
+    "run_campaign",
+    "spawn_sample_seeds",
+    "stable_hash",
+]

@@ -1,0 +1,114 @@
+"""On-disk result cache for campaign samples.
+
+A sample's cache key is a stable hash of (experiment name, canonical
+config JSON, sample seed, code fingerprint). The code fingerprint covers
+the source file that defines the sample function plus the experiment's
+declared version, so editing the experiment (or bumping its version to
+signal a semantic change elsewhere) invalidates exactly that
+experiment's entries; re-running an unchanged campaign skips every
+completed point.
+
+Layout::
+
+    <cache_dir>/<experiment>/<key>.json   # one completed sample
+
+Each file holds the full sample record (config, seed, result, timings),
+so a cache hit restores the manifest entry verbatim except for the
+``cached`` flag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+# Bump to invalidate every experiment's cache at once (harness semantics
+# change, e.g. a different seed-derivation scheme).
+HARNESS_CACHE_VERSION = "1"
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any) -> str:
+    """Stable short hex digest of any JSON-serializable object."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()[:24]
+
+
+def code_fingerprint(sample_fn: Any, version: str = "1") -> str:
+    """Hash of the sample function's defining source file + version.
+
+    Falls back to the function's qualified name when the source is
+    unavailable (frozen/interactive definitions) — the cache then only
+    invalidates via explicit version bumps.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(HARNESS_CACHE_VERSION.encode())
+    hasher.update(version.encode())
+    try:
+        source_file = inspect.getsourcefile(sample_fn)
+        with open(source_file, "rb") as handle:  # type: ignore[arg-type]
+            hasher.update(handle.read())
+    except (OSError, TypeError):
+        hasher.update(f"{sample_fn.__module__}.{sample_fn.__qualname__}".encode())
+    return hasher.hexdigest()[:24]
+
+
+def sample_key(experiment: str, config: dict, seed: int, code: str) -> str:
+    """The cache key of one (experiment, config, seed, code) point."""
+    return stable_hash(
+        {"experiment": experiment, "config": config, "seed": seed, "code": code}
+    )
+
+
+@dataclass
+class ResultCache:
+    """Directory-backed store of completed sample records."""
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, experiment: str, key: str) -> Path:
+        return self.root / experiment / f"{key}.json"
+
+    def get(self, experiment: str, key: str) -> dict | None:
+        """The cached record for ``key``, or None on miss/corruption."""
+        path = self._path(experiment, key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, experiment: str, key: str, record: dict) -> None:
+        """Atomically persist ``record`` (write-to-temp + rename)."""
+        path = self._path(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def count(self, experiment: str) -> int:
+        """Number of cached samples for ``experiment``."""
+        directory = self._path(experiment, "x").parent
+        if not directory.is_dir():
+            return 0
+        return sum(1 for p in directory.iterdir() if p.suffix == ".json")

@@ -1,0 +1,274 @@
+"""The campaign engine: shard an experiment grid across a worker pool.
+
+Determinism contract: a campaign's results are a pure function of
+(experiment, grid, root seed). Every sample's seed is spawned up front
+in grid order (:mod:`repro.harness.seeding`), every sample runs in its
+own process-safe function call with no shared mutable state, and records
+are re-assembled by grid index — so ``workers=1`` and ``workers=16``
+produce byte-identical deterministic manifests (see
+:func:`repro.harness.manifest.manifest_fingerprint`). The on-disk cache
+and worker pool only change *when* a sample's record materializes, never
+*what* it contains.
+
+Experiments register a :class:`CampaignExperiment` (usually at module
+import, see :mod:`repro.experiments.campaigns`); pool workers re-import
+the defining module by name, so registration must be an import side
+effect of that module.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.harness.cache import ResultCache, code_fingerprint, sample_key
+from repro.harness.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    manifest_fingerprint,
+    write_manifest,
+)
+from repro.harness.seeding import spawn_sample_seeds
+from repro.harness.timing import PhaseTimer
+
+#: Sample functions take (config, seed, timer) and return a JSON-able dict.
+SampleFn = Callable[[dict, int, PhaseTimer], dict]
+
+
+@dataclass(frozen=True)
+class CampaignExperiment:
+    """One runnable experiment grid.
+
+    ``grids`` maps a preset name (``"smoke"``, ``"default"``, ``"full"``
+    — whatever the experiment defines) to a list of JSON-able config
+    dicts, one per sample. ``version`` participates in the cache key;
+    bump it when a dependency of the sample function changes semantics
+    without touching the defining module's source.
+    """
+
+    name: str
+    sample_fn: SampleFn
+    grids: Callable[[str], list[dict]]
+    version: str = "1"
+    describe: str = ""
+    summarize: Callable[["CampaignResult"], str] | None = None
+
+    @property
+    def module(self) -> str:
+        """Module whose import registers this experiment (for workers)."""
+        return self.sample_fn.__module__
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One completed grid point, exactly as it appears in the manifest."""
+
+    index: int
+    seed: int
+    config: dict
+    result: dict
+    wall_time_s: float
+    worker: str
+    cached: bool
+    timings: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "config": self.config,
+            "result": self.result,
+            "wall_time_s": self.wall_time_s,
+            "worker": self.worker,
+            "cached": self.cached,
+            "timings": self.timings,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SampleRecord":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__})
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    experiment: str
+    grid: str
+    root_seed: int
+    workers: int
+    records: list[SampleRecord]
+    manifest: dict
+    manifest_path: Path | None = None
+
+    @property
+    def results(self) -> list[dict]:
+        """Per-sample result dicts, in grid order."""
+        return [record.result for record in self.records]
+
+    @property
+    def fingerprint(self) -> str:
+        """Scheduling-independent hash of the campaign's results."""
+        return manifest_fingerprint(self.manifest)
+
+
+# --------------------------------------------------------------- registry
+_REGISTRY: dict[str, CampaignExperiment] = {}
+
+
+def register_experiment(experiment: CampaignExperiment) -> CampaignExperiment:
+    """Register (or re-register, idempotently) a campaign experiment."""
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def get_experiment(name: str) -> CampaignExperiment:
+    """Look up a registered experiment by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown campaign experiment {name!r}; registered: {known}"
+        ) from None
+
+
+def list_experiments() -> list[CampaignExperiment]:
+    """All registered experiments, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# --------------------------------------------------------------- execution
+def _execute_sample(
+    experiment: CampaignExperiment, index: int, config: dict, seed: int
+) -> dict:
+    """Run one grid point; returns its manifest record as a dict."""
+    timer = PhaseTimer()
+    start = time.perf_counter()
+    result = experiment.sample_fn(dict(config), seed, timer)
+    wall = time.perf_counter() - start
+    return {
+        "index": index,
+        "seed": seed,
+        "config": config,
+        "result": result,
+        "wall_time_s": round(wall, 6),
+        "worker": multiprocessing.current_process().name,
+        "cached": False,
+        "timings": timer.as_dict(),
+    }
+
+
+def _pool_worker(task: tuple[str, str, int, dict, int]) -> dict:
+    """Pool entry point: re-import the registering module, then run."""
+    module, name, index, config, seed = task
+    importlib.import_module(module)
+    return _execute_sample(get_experiment(name), index, config, seed)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork (where available) inherits the parent's imports, so even
+    # experiments registered from non-importable modules (tests, benches)
+    # reach the workers; spawn is the portable fallback.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(
+    experiment: str | CampaignExperiment,
+    grid: str | list[dict] = "default",
+    root_seed: int = 0,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+    manifest_path: str | Path | None = None,
+) -> CampaignResult:
+    """Run every grid point of ``experiment``; return records + manifest.
+
+    ``grid`` is a preset name resolved via the experiment's ``grids``
+    hook, or an explicit list of config dicts (recorded as ``"custom"``).
+    ``workers=1`` runs inline in this process; ``workers>1`` shards the
+    non-cached points over a multiprocessing pool. Results are identical
+    either way. ``cache_dir=None`` disables the on-disk cache.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if isinstance(experiment, str):
+        experiment = get_experiment(experiment)
+
+    campaign_timer = PhaseTimer()
+    with campaign_timer.phase("grid"):
+        if isinstance(grid, str):
+            grid_label, configs = grid, experiment.grids(grid)
+        else:
+            grid_label, configs = "custom", list(grid)
+        seeds = spawn_sample_seeds(root_seed, len(configs))
+        code = code_fingerprint(experiment.sample_fn, experiment.version)
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    records: dict[int, dict] = {}
+    pending: list[tuple[int, dict, int, str]] = []
+    with campaign_timer.phase("cache_scan"):
+        for index, (config, seed) in enumerate(zip(configs, seeds)):
+            key = sample_key(experiment.name, config, seed, code)
+            hit = cache.get(experiment.name, key) if cache is not None else None
+            if hit is not None:
+                hit = dict(hit)
+                hit["cached"] = True
+                records[index] = hit
+            else:
+                pending.append((index, config, seed, key))
+
+    start = time.perf_counter()
+    with campaign_timer.phase("execute"):
+        if workers == 1 or len(pending) <= 1:
+            fresh = [
+                _execute_sample(experiment, index, config, seed)
+                for index, config, seed, _ in pending
+            ]
+        else:
+            tasks = [
+                (experiment.module, experiment.name, index, config, seed)
+                for index, config, seed, _ in pending
+            ]
+            with _pool_context().Pool(processes=min(workers, len(tasks))) as pool:
+                fresh = list(pool.imap_unordered(_pool_worker, tasks, chunksize=1))
+    wall_s = time.perf_counter() - start
+
+    with campaign_timer.phase("finalize"):
+        keys = {index: key for index, _, _, key in pending}
+        for record in fresh:
+            records[record["index"]] = record
+            if cache is not None:
+                cache.put(experiment.name, keys[record["index"]], record)
+        ordered = [records[index] for index in range(len(configs))]
+    manifest = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "experiment": experiment.name,
+        "grid": grid_label,
+        "root_seed": root_seed,
+        "workers": workers,
+        "code": code,
+        "totals": {
+            "samples": len(ordered),
+            "cached": sum(1 for r in ordered if r["cached"]),
+            "wall_s": round(wall_s, 6),
+        },
+        "campaign_timings": campaign_timer.as_dict(),
+        "samples": ordered,
+    }
+
+    path = None
+    if manifest_path is not None:
+        path = write_manifest(manifest_path, manifest)
+    return CampaignResult(
+        experiment=experiment.name,
+        grid=grid_label,
+        root_seed=root_seed,
+        workers=workers,
+        records=[SampleRecord.from_dict(r) for r in ordered],
+        manifest=manifest,
+        manifest_path=path,
+    )

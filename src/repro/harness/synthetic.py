@@ -1,0 +1,55 @@
+"""Synthetic campaign experiment: exercises the harness end to end.
+
+A self-contained experiment with no simulation dependencies, used by the
+harness's own tests and benchmarks (and handy as a CLI smoke check). Each
+sample draws from its assigned RNG stream — so serial/parallel
+equivalence is meaningfully tested, not trivially true — and can
+optionally sleep to emulate a wall-time-bound sample, which is what the
+pool-overlap speedup benchmark measures.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.harness.campaign import CampaignExperiment, register_experiment
+from repro.harness.timing import PhaseTimer
+
+
+def synthetic_sample(config: dict, seed: int, timer: PhaseTimer) -> dict:
+    """Draw ``n`` values from the sample's stream; optionally sleep."""
+    sleep_s = float(config.get("sleep_s", 0.0))
+    if sleep_s > 0.0:
+        with timer.phase("sleep"):
+            time.sleep(sleep_s)
+    with timer.phase("draw"):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(loc=float(config.get("loc", 0.0)), size=int(config["n"]))
+    return {
+        "mean": float(np.mean(values)),
+        "std": float(np.std(values)),
+        "first": float(values[0]),
+    }
+
+
+def synthetic_grid(preset: str) -> list[dict]:
+    """``smoke``: 8 quick samples; ``default``: 64; ``sleepy``: 64 × 50 ms."""
+    if preset == "smoke":
+        return [{"n": 256, "loc": float(i)} for i in range(8)]
+    if preset == "default":
+        return [{"n": 4096, "loc": float(i % 7)} for i in range(64)]
+    if preset == "sleepy":
+        return [{"n": 64, "loc": 0.0, "sleep_s": 0.05} for _ in range(64)]
+    raise ValueError(f"unknown synthetic grid preset {preset!r}")
+
+
+SYNTHETIC = register_experiment(
+    CampaignExperiment(
+        name="synthetic",
+        sample_fn=synthetic_sample,
+        grids=synthetic_grid,
+        describe="harness self-test: seeded draws, optional sleep",
+    )
+)

@@ -1,0 +1,39 @@
+"""Per-phase wall-time counters for campaign samples.
+
+Every sample function receives a :class:`PhaseTimer`; whatever phases it
+brackets (``with timer.phase("simulate"): ...``) land in the sample's
+manifest entry, so a finished manifest doubles as a coarse profile of
+where campaign time went without a separate profiling run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates named wall-time phases: ``{name: {calls, total_s}}``."""
+
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one bracketed phase; re-entering a name accumulates."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            slot = self.phases.setdefault(name, {"calls": 0, "total_s": 0.0})
+            slot["calls"] += 1
+            slot["total_s"] += elapsed
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-ready copy with rounded totals (stable manifest diffs)."""
+        return {
+            name: {"calls": slot["calls"], "total_s": round(slot["total_s"], 6)}
+            for name, slot in self.phases.items()
+        }
