@@ -13,6 +13,10 @@ Usage::
 
     python -m repro campaign list                      # sweep catalogue
     python -m repro campaign monte-carlo --workers 4   # sharded sweep
+
+    python -m repro fig5 --trace fig5.jsonl            # capture an obs trace
+    python -m repro obs summarize fig5.jsonl           # render it
+    python -m repro obs chrome fig5.jsonl              # chrome://tracing JSON
 """
 
 from __future__ import annotations
@@ -105,6 +109,37 @@ COMMANDS = {
 }
 
 
+def _write_metrics_dump(path: str, snapshot: dict | None) -> None:
+    """Write a Prometheus-style text dump of a metrics snapshot."""
+    from pathlib import Path
+
+    from repro.obs.export import prometheus_text
+    from repro.obs.metrics import empty_snapshot
+
+    text = prometheus_text(snapshot if snapshot is not None else empty_snapshot())
+    Path(path).write_text(text, encoding="utf-8")
+    print(f"metrics: {path}")
+
+
+def _run_single(name: str, args: argparse.Namespace) -> int:
+    """Run one single-shot experiment, optionally under an obs session."""
+    from repro import obs
+
+    if args.trace is None and args.metrics is None:
+        COMMANDS[name](args.seed)
+        return 0
+    with obs.capture(
+        trace_path=args.trace,
+        meta={"experiment": name, "seed": args.seed},
+    ) as captured:
+        COMMANDS[name](args.seed)
+    if args.trace is not None:
+        print(f"trace: {args.trace}")
+    if args.metrics is not None:
+        _write_metrics_dump(args.metrics, captured["payload"]["metrics"])
+    return 0
+
+
 def _run_campaign_cli(args: argparse.Namespace) -> int:
     """``python -m repro campaign <experiment>``: a sharded, cached sweep."""
     from repro.experiments.campaigns import get_experiment, list_experiments
@@ -126,6 +161,8 @@ def _run_campaign_cli(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
         manifest_path=args.manifest,
+        observe=args.metrics is not None,
+        trace_path=args.trace,
     )
     totals = result.manifest["totals"]
     print(
@@ -138,6 +175,10 @@ def _run_campaign_cli(args: argparse.Namespace) -> int:
     )
     if result.manifest_path is not None:
         print(f"manifest: {result.manifest_path}")
+    if args.trace is not None:
+        print(f"trace: {args.trace}")
+    if args.metrics is not None:
+        _write_metrics_dump(args.metrics, result.manifest.get("metrics"))
     if experiment.summarize is not None:
         print(experiment.summarize(result))
     return 0
@@ -156,6 +197,14 @@ def main(argv: list[str] | None = None) -> int:
         single = sub.add_parser(name, help=f"run the {name} experiment")
         single.add_argument(
             "--seed", type=int, default=defaults[name], help="override the seed"
+        )
+        single.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="capture an observability trace (JSONL) to PATH",
+        )
+        single.add_argument(
+            "--metrics", default=None, metavar="PATH",
+            help="write a Prometheus-style metrics dump to PATH",
         )
     sub.add_parser("list", help="enumerate the single-run experiments")
 
@@ -185,6 +234,18 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument(
         "--manifest", default=None, help="write the run manifest JSON here"
     )
+    campaign.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="capture a campaign observability trace (JSONL) to PATH",
+    )
+    campaign.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the merged Prometheus-style metrics dump to PATH",
+    )
+
+    from repro.obs.cli import add_obs_parser
+
+    add_obs_parser(sub)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -193,8 +254,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "campaign":
         return _run_campaign_cli(args)
-    COMMANDS[args.command](args.seed)
-    return 0
+    if args.command == "obs":
+        from repro.obs.cli import run_obs_cli
+
+        return run_obs_cli(args)
+    return _run_single(args.command, args)
 
 
 if __name__ == "__main__":

@@ -18,9 +18,9 @@ analysis and the runtime artefact can never drift apart.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.conserts import AndNode, ConSert, Demand, OrNode, RuntimeEvidence
+from repro.core.conserts import ConSert, Demand, RuntimeEvidence
 
 
 def _demands_of(consert: ConSert) -> list[Demand]:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.uav_network import UavConSertNetwork, UavGuarantee
+from repro.obs import OBS, event, span
 
 
 @dataclass
@@ -103,20 +104,58 @@ class Eddi:
         self.responses[guarantee] = callback
 
     def step(self, now: float) -> UavGuarantee:
-        """Run one monitor/diagnose/respond cycle; returns the guarantee."""
-        for adapter in self.adapters:
-            adapter.observe(now)
-        guarantee = self.network.evaluate()
+        """Run one monitor/diagnose/respond cycle; returns the guarantee.
+
+        When :mod:`repro.obs` is enabled, each phase runs inside a span
+        (``eddi.monitor`` / ``eddi.diagnose`` / ``eddi.respond``),
+        guarantee changes emit ``guarantee_transition`` events, and
+        adapter staleness flips emit ``staleness_demotion`` /
+        ``staleness_recovered`` events — the audit trail the paper's
+        "automates the logging of all actions" GCS requirement asks for.
+        """
+        obs_on = OBS.enabled
+        with span("eddi.monitor", sim_time=now, uav=self.name):
+            for adapter in self.adapters:
+                was_stale = adapter.stale
+                adapter.observe(now)
+                if obs_on and adapter.stale != was_stale:
+                    event(
+                        "warning" if adapter.stale else "info",
+                        "core.eddi",
+                        "staleness_demotion" if adapter.stale
+                        else "staleness_recovered",
+                        sim_time=now,
+                        uav=self.name,
+                        adapter=adapter.name,
+                    )
+        with span("eddi.diagnose", sim_time=now, uav=self.name):
+            guarantee = self.network.evaluate()
         self.guarantee_trace.append((now, guarantee))
+        if obs_on:
+            OBS.metrics.inc("eddi_cycles_total", uav=self.name)
         if guarantee is not self.current_guarantee:
             response = EddiResponse(
                 stamp=now, guarantee=guarantee, previous=self.current_guarantee
             )
             self.response_log.append(response)
+            previous = self.current_guarantee
             self.current_guarantee = guarantee
+            if obs_on:
+                event(
+                    "info",
+                    "core.eddi",
+                    "guarantee_transition",
+                    sim_time=now,
+                    uav=self.name,
+                    previous=previous.value if previous is not None else None,
+                    guarantee=guarantee.value,
+                )
+                OBS.metrics.inc("eddi_guarantee_transitions_total", uav=self.name)
             callback = self.responses.get(guarantee)
             if callback is not None:
-                callback(response)
+                with span("eddi.respond", sim_time=now, uav=self.name,
+                          guarantee=guarantee.value):
+                    callback(response)
         return guarantee
 
     def stale_adapters(self) -> list[MonitorAdapter]:

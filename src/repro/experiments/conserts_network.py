@@ -9,7 +9,7 @@ mission-level verdict becomes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
 
 from repro.core.decider import MissionDecider, MissionVerdict

@@ -23,7 +23,7 @@ detection channel.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.experiments.common import build_three_uav_world
 from repro.middleware.attacks import SpoofingAttack

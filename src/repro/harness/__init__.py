@@ -53,4 +53,5 @@ __all__ = [
     "run_campaign",
     "spawn_sample_seeds",
     "stable_hash",
+    "write_manifest",
 ]

@@ -21,10 +21,12 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import time
-from dataclasses import dataclass, field
+from contextlib import ExitStack
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import Callable
 
+from repro import obs
 from repro.harness.cache import ResultCache, code_fingerprint, sample_key
 from repro.harness.manifest import (
     MANIFEST_SCHEMA_VERSION,
@@ -74,9 +76,11 @@ class SampleRecord:
     worker: str
     cached: bool
     timings: dict
+    #: Per-sample obs metrics snapshot; only present on observed runs.
+    metrics: dict | None = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "index": self.index,
             "seed": self.seed,
             "config": self.config,
@@ -86,10 +90,18 @@ class SampleRecord:
             "cached": self.cached,
             "timings": self.timings,
         }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SampleRecord":
-        return cls(**{k: data[k] for k in cls.__dataclass_fields__})
+        return cls(
+            **{
+                k: data.get(k) if k == "metrics" else data[k]
+                for k in cls.__dataclass_fields__
+            }
+        )
 
 
 @dataclass
@@ -143,14 +155,31 @@ def list_experiments() -> list[CampaignExperiment]:
 
 # --------------------------------------------------------------- execution
 def _execute_sample(
-    experiment: CampaignExperiment, index: int, config: dict, seed: int
+    experiment: CampaignExperiment,
+    index: int,
+    config: dict,
+    seed: int,
+    observe: bool = False,
 ) -> dict:
-    """Run one grid point; returns its manifest record as a dict."""
+    """Run one grid point; returns its manifest record as a dict.
+
+    With ``observe`` the sample runs inside its own isolated obs session:
+    the record gains a ``"metrics"`` snapshot (kept in the manifest and
+    merged campaign-wide) and a transient ``"obs"`` blob of spans/events
+    that :func:`run_campaign` strips into the trace file — it never
+    reaches the cache or the manifest.
+    """
     timer = PhaseTimer()
     start = time.perf_counter()
-    result = experiment.sample_fn(dict(config), seed, timer)
+    if observe:
+        with obs.isolated(enabled=True) as session:
+            result = experiment.sample_fn(dict(config), seed, timer)
+            payload = session.collect()
+    else:
+        result = experiment.sample_fn(dict(config), seed, timer)
+        payload = None
     wall = time.perf_counter() - start
-    return {
+    record = {
         "index": index,
         "seed": seed,
         "config": config,
@@ -160,13 +189,17 @@ def _execute_sample(
         "cached": False,
         "timings": timer.as_dict(),
     }
+    if payload is not None:
+        record["metrics"] = payload["metrics"]
+        record["obs"] = {"spans": payload["spans"], "events": payload["events"]}
+    return record
 
 
-def _pool_worker(task: tuple[str, str, int, dict, int]) -> dict:
+def _pool_worker(task: tuple[str, str, int, dict, int, bool]) -> dict:
     """Pool entry point: re-import the registering module, then run."""
-    module, name, index, config, seed = task
+    module, name, index, config, seed, observe = task
     importlib.import_module(module)
-    return _execute_sample(get_experiment(name), index, config, seed)
+    return _execute_sample(get_experiment(name), index, config, seed, observe)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -184,6 +217,8 @@ def run_campaign(
     workers: int = 1,
     cache_dir: str | Path | None = None,
     manifest_path: str | Path | None = None,
+    observe: bool = False,
+    trace_path: str | Path | None = None,
 ) -> CampaignResult:
     """Run every grid point of ``experiment``; return records + manifest.
 
@@ -192,77 +227,109 @@ def run_campaign(
     ``workers=1`` runs inline in this process; ``workers>1`` shards the
     non-cached points over a multiprocessing pool. Results are identical
     either way. ``cache_dir=None`` disables the on-disk cache.
+
+    ``observe`` (implied by ``trace_path``) runs every sample inside its
+    own obs session: samples carry a ``"metrics"`` snapshot, the manifest
+    gains the campaign-wide merged snapshot under ``"metrics"``, and —
+    when ``trace_path`` is given — a JSONL trace is written combining
+    campaign-level phase spans with each sample's spans and events
+    (labelled ``sample=<index>``). The deterministic fingerprint covers
+    only (index, seed, config, result), so observed and unobserved runs
+    of the same campaign fingerprint identically.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if isinstance(experiment, str):
         experiment = get_experiment(experiment)
+    observe = observe or trace_path is not None
 
-    campaign_timer = PhaseTimer()
-    with campaign_timer.phase("grid"):
-        if isinstance(grid, str):
-            grid_label, configs = grid, experiment.grids(grid)
-        else:
-            grid_label, configs = "custom", list(grid)
-        seeds = spawn_sample_seeds(root_seed, len(configs))
-        code = code_fingerprint(experiment.sample_fn, experiment.version)
-
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    records: dict[int, dict] = {}
-    pending: list[tuple[int, dict, int, str]] = []
-    with campaign_timer.phase("cache_scan"):
-        for index, (config, seed) in enumerate(zip(configs, seeds)):
-            key = sample_key(experiment.name, config, seed, code)
-            hit = cache.get(experiment.name, key) if cache is not None else None
-            if hit is not None:
-                hit = dict(hit)
-                hit["cached"] = True
-                records[index] = hit
+    campaign_payload = None
+    sample_obs: dict[int, dict] = {}
+    with ExitStack() as stack:
+        session = stack.enter_context(obs.isolated(enabled=True)) if observe else None
+        campaign_timer = PhaseTimer(span_prefix="campaign")
+        with campaign_timer.phase("grid"):
+            if isinstance(grid, str):
+                grid_label, configs = grid, experiment.grids(grid)
             else:
-                pending.append((index, config, seed, key))
+                grid_label, configs = "custom", list(grid)
+            seeds = spawn_sample_seeds(root_seed, len(configs))
+            code = code_fingerprint(experiment.sample_fn, experiment.version)
 
-    start = time.perf_counter()
-    with campaign_timer.phase("execute"):
-        if workers == 1 or len(pending) <= 1:
-            fresh = [
-                _execute_sample(experiment, index, config, seed)
-                for index, config, seed, _ in pending
-            ]
-        else:
-            tasks = [
-                (experiment.module, experiment.name, index, config, seed)
-                for index, config, seed, _ in pending
-            ]
-            with _pool_context().Pool(processes=min(workers, len(tasks))) as pool:
-                fresh = list(pool.imap_unordered(_pool_worker, tasks, chunksize=1))
-    wall_s = time.perf_counter() - start
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        records: dict[int, dict] = {}
+        pending: list[tuple[int, dict, int, str]] = []
+        with campaign_timer.phase("cache_scan"):
+            for index, (config, seed) in enumerate(zip(configs, seeds)):
+                key = sample_key(experiment.name, config, seed, code)
+                hit = cache.get(experiment.name, key) if cache is not None else None
+                if hit is not None:
+                    hit = dict(hit)
+                    hit["cached"] = True
+                    if not observe:
+                        # Keep unobserved manifests free of stale metrics
+                        # from an earlier observed run that warmed the cache.
+                        hit.pop("metrics", None)
+                    records[index] = hit
+                else:
+                    pending.append((index, config, seed, key))
 
-    with campaign_timer.phase("finalize"):
-        keys = {index: key for index, _, _, key in pending}
-        for record in fresh:
-            records[record["index"]] = record
-            if cache is not None:
-                cache.put(experiment.name, keys[record["index"]], record)
-        ordered = [records[index] for index in range(len(configs))]
-    manifest = {
-        "schema_version": MANIFEST_SCHEMA_VERSION,
-        "experiment": experiment.name,
-        "grid": grid_label,
-        "root_seed": root_seed,
-        "workers": workers,
-        "code": code,
-        "totals": {
-            "samples": len(ordered),
-            "cached": sum(1 for r in ordered if r["cached"]),
-            "wall_s": round(wall_s, 6),
-        },
-        "campaign_timings": campaign_timer.as_dict(),
-        "samples": ordered,
-    }
+        start = time.perf_counter()
+        with campaign_timer.phase("execute"):
+            if workers == 1 or len(pending) <= 1:
+                fresh = [
+                    _execute_sample(experiment, index, config, seed, observe)
+                    for index, config, seed, _ in pending
+                ]
+            else:
+                tasks = [
+                    (experiment.module, experiment.name, index, config, seed, observe)
+                    for index, config, seed, _ in pending
+                ]
+                with _pool_context().Pool(processes=min(workers, len(tasks))) as pool:
+                    fresh = list(pool.imap_unordered(_pool_worker, tasks, chunksize=1))
+        wall_s = time.perf_counter() - start
+
+        with campaign_timer.phase("finalize"):
+            keys = {index: key for index, _, _, key in pending}
+            for record in fresh:
+                blob = record.pop("obs", None)
+                if blob is not None:
+                    sample_obs[record["index"]] = blob
+                records[record["index"]] = record
+                if cache is not None:
+                    cache.put(experiment.name, keys[record["index"]], record)
+            ordered = [records[index] for index in range(len(configs))]
+        manifest = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "experiment": experiment.name,
+            "grid": grid_label,
+            "root_seed": root_seed,
+            "workers": workers,
+            "code": code,
+            "totals": {
+                "samples": len(ordered),
+                "cached": sum(1 for r in ordered if r["cached"]),
+                "wall_s": round(wall_s, 6),
+            },
+            "campaign_timings": campaign_timer.as_dict(),
+            "samples": ordered,
+        }
+        if observe:
+            manifest["metrics"] = obs.merge_snapshots(
+                r["metrics"] for r in ordered if r.get("metrics")
+            )
+        if session is not None:
+            campaign_payload = session.collect()
 
     path = None
     if manifest_path is not None:
         path = write_manifest(manifest_path, manifest)
+    if trace_path is not None:
+        _write_campaign_trace(
+            trace_path, experiment.name, grid_label, root_seed, workers,
+            campaign_payload, sample_obs, manifest.get("metrics"),
+        )
     return CampaignResult(
         experiment=experiment.name,
         grid=grid_label,
@@ -272,3 +339,43 @@ def run_campaign(
         manifest=manifest,
         manifest_path=path,
     )
+
+
+def _write_campaign_trace(
+    trace_path: str | Path,
+    experiment: str,
+    grid_label: str,
+    root_seed: int,
+    workers: int,
+    campaign_payload: dict | None,
+    sample_obs: dict[int, dict],
+    merged_metrics: dict | None,
+) -> Path:
+    """Assemble the combined campaign trace and write it as JSONL.
+
+    Campaign-level spans are labelled ``scope=campaign``; each sample's
+    spans/events gain a ``sample=<index>`` label, which the Chrome-trace
+    exporter maps to one lane per sample.
+    """
+    payload = {"spans": [], "events": [], "metrics": merged_metrics}
+    if campaign_payload is not None:
+        for span in campaign_payload["spans"]:
+            span["labels"] = {**span.get("labels", {}), "scope": "campaign"}
+            payload["spans"].append(span)
+        payload["events"].extend(campaign_payload["events"])
+    for index in sorted(sample_obs):
+        blob = sample_obs[index]
+        for span in blob["spans"]:
+            span["labels"] = {**span.get("labels", {}), "sample": index}
+            payload["spans"].append(span)
+        for evt in blob["events"]:
+            evt["payload"] = {**evt.get("payload", {}), "sample": index}
+            payload["events"].append(evt)
+    meta = {
+        "experiment": experiment,
+        "grid": grid_label,
+        "root_seed": root_seed,
+        "workers": workers,
+        "samples_traced": len(sample_obs),
+    }
+    return obs.write_trace(trace_path, payload, meta=meta)

@@ -4,13 +4,20 @@ Every sample function receives a :class:`PhaseTimer`; whatever phases it
 brackets (``with timer.phase("simulate"): ...``) land in the sample's
 manifest entry, so a finished manifest doubles as a coarse profile of
 where campaign time went without a separate profiling run.
+
+The timer is a thin facade over :func:`repro.obs.timed_span`: the span
+machinery does the clock bracketing (one implementation of timing in the
+whole codebase), and when the observability session is enabled the same
+phases additionally appear as first-class spans in the captured trace —
+the manifest's ``timings`` dict stays byte-identical either way.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.obs import timed_span
 
 
 @dataclass
@@ -18,18 +25,23 @@ class PhaseTimer:
     """Accumulates named wall-time phases: ``{name: {calls, total_s}}``."""
 
     phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Span-name prefix used when the obs session records these phases.
+    span_prefix: str = "phase"
 
     @contextmanager
     def phase(self, name: str):
         """Time one bracketed phase; re-entering a name accumulates."""
-        start = time.perf_counter()
+        open_span = timed_span(f"{self.span_prefix}.{name}")
+        span = open_span.__enter__()
         try:
             yield self
         finally:
-            elapsed = time.perf_counter() - start
+            # Close the span by hand so the duration is readable here —
+            # on the exception path as well as the happy one.
+            open_span.__exit__(None, None, None)
             slot = self.phases.setdefault(name, {"calls": 0, "total_s": 0.0})
             slot["calls"] += 1
-            slot["total_s"] += elapsed
+            slot["total_s"] += span.duration_s
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """JSON-ready copy with rounded totals (stable manifest diffs)."""

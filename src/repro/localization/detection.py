@@ -9,7 +9,7 @@ miss entirely with a range- and camera-health-dependent probability.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -31,6 +31,7 @@ from typing import Any
 import numpy as np
 
 from repro.middleware.rosbus import Message, RosBus
+from repro.obs import OBS
 
 
 @dataclass
@@ -42,12 +43,18 @@ class LinkStats:
     dropped_loss: int = 0
     dropped_outage: int = 0
     dropped_bandwidth: int = 0
+    dropped_unsubscribed: int = 0
     delayed: int = 0
 
     @property
     def dropped(self) -> int:
         """Total packets dropped for any reason."""
-        return self.dropped_loss + self.dropped_outage + self.dropped_bandwidth
+        return (
+            self.dropped_loss
+            + self.dropped_outage
+            + self.dropped_bandwidth
+            + self.dropped_unsubscribed
+        )
 
     @property
     def delivery_ratio(self) -> float:
@@ -263,7 +270,15 @@ class DegradedBus(RosBus):
         origin: str | None = None,
         stamp: float | None = None,
     ) -> Message | None:
-        """Publish with per-subscriber link traversal (see class docstring)."""
+        """Publish with per-subscriber link traversal (see class docstring).
+
+        Bus-level ``stats.delivered`` counts subscriber callbacks that
+        actually ran — a delayed copy counts when it drains, and a copy
+        whose subscriber unsubscribed while it was in flight counts
+        under ``stats.dropped_unsubscribed`` instead (it never reached
+        anyone). The per-topic observability counters follow the same
+        contract as :meth:`RosBus.publish`.
+        """
         message = Message(
             topic=topic,
             data=data,
@@ -272,21 +287,28 @@ class DegradedBus(RosBus):
             seq=next(self._seq),
             stamp=stamp if stamp is not None else self.clock,
         )
-        for interceptor in self._interceptors:
-            replaced = interceptor(message)
-            if replaced is None:
-                return None
-            message = replaced
+        message = self._intercept(message)
+        if message is None:
+            return None
         self.traffic.record(message)
+        obs_on = OBS.enabled
+        if obs_on:
+            OBS.metrics.inc("bus_published_total", topic=topic)
         for sub in list(self._subs.get(topic, ())):
             if not sub.active:
                 continue
             self.stats.sent += 1
             deliver_at = self._admit(message.origin, sub.node, self.clock)
             if deliver_at is None:
+                if obs_on:
+                    OBS.metrics.inc(
+                        "bus_dropped_total", topic=topic, reason="link"
+                    )
                 continue
-            self.stats.delivered += 1
             if deliver_at <= self.clock:
+                self.stats.delivered += 1
+                if obs_on:
+                    self._count_delivery(message)
                 sub.callback(message)
             else:
                 heapq.heappush(
@@ -305,7 +327,20 @@ class DegradedBus(RosBus):
         while self._pending and self._pending[0][0] <= now:
             _, _, sub, message = heapq.heappop(self._pending)
             if sub.active:
+                self.stats.delivered += 1
+                if OBS.enabled:
+                    self._count_delivery(message)
                 sub.callback(message)
+            else:
+                # The subscriber went away while the copy was in flight:
+                # nothing was delivered, so don't count one.
+                self.stats.dropped_unsubscribed += 1
+                if OBS.enabled:
+                    OBS.metrics.inc(
+                        "bus_dropped_total",
+                        topic=message.topic,
+                        reason="unsubscribed",
+                    )
 
     def pending_count(self) -> int:
         """Number of in-flight (delayed, not yet delivered) messages."""

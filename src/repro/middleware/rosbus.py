@@ -15,8 +15,10 @@ from __future__ import annotations
 import fnmatch
 import itertools
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
+
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -136,6 +138,14 @@ class RosBus:
 
         ``origin`` defaults to ``sender`` (honest publication). Returns the
         delivered message, or ``None`` if an interceptor dropped it.
+
+        Observability contract (when :data:`repro.obs.OBS` is enabled):
+        ``bus_published_total{topic}`` counts exactly the messages the
+        traffic log records — interceptor-dropped messages count under
+        ``bus_dropped_total{topic, reason=intercepted}`` instead, and
+        never both. ``bus_delivered_total{topic}`` counts subscriber
+        callbacks actually invoked (inactive subscriptions receive, and
+        count, nothing).
         """
         message = Message(
             topic=topic,
@@ -145,16 +155,47 @@ class RosBus:
             seq=next(self._seq),
             stamp=stamp if stamp is not None else self.clock,
         )
+        message = self._intercept(message)
+        if message is None:
+            return None
+        self.traffic.record(message)
+        obs_on = OBS.enabled
+        if obs_on:
+            OBS.metrics.inc("bus_published_total", topic=topic)
+        for sub in list(self._subs.get(topic, ())):
+            if sub.active:
+                if obs_on:
+                    self._count_delivery(message)
+                sub.callback(message)
+        return message
+
+    def _intercept(self, message: Message) -> Message | None:
+        """Run the interceptor chain; accounts for transport-level drops."""
         for interceptor in self._interceptors:
             replaced = interceptor(message)
             if replaced is None:
+                if OBS.enabled:
+                    OBS.metrics.inc(
+                        "bus_dropped_total",
+                        topic=message.topic,
+                        reason="intercepted",
+                    )
                 return None
             message = replaced
-        self.traffic.record(message)
-        for sub in list(self._subs.get(topic, ())):
-            if sub.active:
-                sub.callback(message)
         return message
+
+    def _count_delivery(self, message: Message) -> None:
+        """Metric hook for one subscriber callback about to be invoked.
+
+        Callers guard on ``OBS.enabled`` — this is never reached when
+        observability is off.
+        """
+        OBS.metrics.inc("bus_delivered_total", topic=message.topic)
+        OBS.metrics.observe(
+            "bus_delivery_latency_s",
+            max(0.0, self.clock - message.stamp),
+            topic=message.topic,
+        )
 
     def topics(self) -> list[str]:
         """All topics with at least one subscription, sorted."""

@@ -1,0 +1,75 @@
+"""``python -m repro obs ...`` — work with recorded traces from the shell.
+
+Subcommands::
+
+    python -m repro obs summarize run.jsonl        # human-readable report
+    python -m repro obs chrome run.jsonl -o out.json   # chrome://tracing
+    python -m repro obs prom run.jsonl             # Prometheus text dump
+
+The trace files come from ``--trace`` on the ``campaign`` and
+single-experiment subcommands, or from :func:`repro.obs.capture`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs import read_trace, summarize_trace
+from repro.obs.export import prometheus_text, write_chrome_trace
+from repro.obs.metrics import merge_snapshots
+
+
+def add_obs_parser(subparsers) -> None:
+    """Attach the ``obs`` subcommand tree to the top-level CLI."""
+    obs = subparsers.add_parser(
+        "obs", help="summarize or export a recorded observability trace"
+    )
+    actions = obs.add_subparsers(dest="obs_action", required=True)
+
+    summarize = actions.add_parser(
+        "summarize", help="render a human-readable trace report"
+    )
+    summarize.add_argument("trace", help="JSONL trace file (from --trace)")
+
+    chrome = actions.add_parser(
+        "chrome", help="export a Chrome trace-event JSON (chrome://tracing)"
+    )
+    chrome.add_argument("trace", help="JSONL trace file (from --trace)")
+    chrome.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
+
+    prom = actions.add_parser(
+        "prom", help="dump the trace's metrics snapshot as Prometheus text"
+    )
+    prom.add_argument("trace", help="JSONL trace file (from --trace)")
+
+
+def run_obs_cli(args: argparse.Namespace) -> int:
+    """Execute one ``obs`` action; returns the process exit code."""
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"no such trace file: {trace_path}", file=sys.stderr)
+        return 2
+    if args.obs_action == "summarize":
+        print(summarize_trace(trace_path))
+        return 0
+    if args.obs_action == "chrome":
+        output = (
+            Path(args.output) if args.output is not None
+            else trace_path.with_suffix(".chrome.json")
+        )
+        write_chrome_trace(read_trace(trace_path), output)
+        print(f"chrome trace: {output}  (open in chrome://tracing or Perfetto)")
+        return 0
+    if args.obs_action == "prom":
+        snapshot = merge_snapshots(
+            r["snapshot"] for r in read_trace(trace_path)
+            if r.get("kind") == "metrics"
+        )
+        sys.stdout.write(prometheus_text(snapshot))
+        return 0
+    raise AssertionError(f"unhandled obs action {args.obs_action!r}")

@@ -1,0 +1,149 @@
+"""Render a JSONL trace into the report a human actually wants to read.
+
+Three sections, matching the questions the trace exists to answer:
+
+* **Phases** — wall time aggregated per span name (calls, total,
+  mean): where did the run spend its time?
+* **Topics** — top bus topics by published message count, with
+  delivered/dropped counts from the same snapshot: what was the fleet
+  talking about?
+* **Guarantee transitions** — every ``guarantee_transition`` event in
+  sim-time order: what did the assurance layer decide, and when?
+
+A trailing **events** section tallies everything else (fault
+activations, IDS alerts, staleness demotions) by subsystem and name.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.obs.metrics import merge_snapshots, parse_label_key
+
+TOP_TOPICS = 12
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s"
+    return f"{seconds * 1e3:8.3f} ms"
+
+
+def _span_table(spans: list[dict]) -> list[str]:
+    agg: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+    for span in spans:
+        slot = agg[span["name"]]
+        slot[0] += 1
+        slot[1] += span["duration_s"]
+    if not agg:
+        return ["  (no spans recorded)"]
+    width = max(len(name) for name in agg)
+    lines = [f"  {'span':<{width}}  {'calls':>7}  {'total':>11}  {'mean':>11}"]
+    for name, (calls, total) in sorted(
+        agg.items(), key=lambda item: -item[1][1]
+    ):
+        lines.append(
+            f"  {name:<{width}}  {calls:>7}  {_fmt_s(total):>11}"
+            f"  {_fmt_s(total / calls):>11}"
+        )
+    return lines
+
+
+def _topic_table(snapshot: dict) -> list[str]:
+    published = snapshot.get("counters", {}).get("bus_published_total", {})
+    if not published:
+        return ["  (no bus traffic recorded)"]
+    delivered = snapshot.get("counters", {}).get("bus_delivered_total", {})
+    dropped_by_topic: dict[str, float] = defaultdict(float)
+    for key, count in snapshot.get("counters", {}).get(
+        "bus_dropped_total", {}
+    ).items():
+        dropped_by_topic[parse_label_key(key).get("topic", "")] += count
+
+    rows = []
+    for key, count in published.items():
+        topic = parse_label_key(key).get("topic", key)
+        rows.append((
+            topic,
+            int(count),
+            int(delivered.get(key, 0.0)),
+            int(dropped_by_topic.get(topic, 0.0)),
+        ))
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    shown = rows[:TOP_TOPICS]
+    width = max(len(row[0]) for row in shown)
+    lines = [
+        f"  {'topic':<{width}}  {'published':>9}  {'delivered':>9}  {'dropped':>7}"
+    ]
+    for topic, pub, deliv, drop in shown:
+        lines.append(f"  {topic:<{width}}  {pub:>9}  {deliv:>9}  {drop:>7}")
+    if len(rows) > TOP_TOPICS:
+        lines.append(f"  ... and {len(rows) - TOP_TOPICS} more topics")
+    return lines
+
+
+def _transition_lines(events: list[dict]) -> list[str]:
+    transitions = [e for e in events if e["name"] == "guarantee_transition"]
+    if not transitions:
+        return ["  (no guarantee transitions recorded)"]
+    transitions.sort(key=lambda e: (e.get("sim_time") or 0.0))
+    lines = []
+    for e in transitions:
+        payload = e.get("payload", {})
+        sim = e.get("sim_time")
+        stamp = f"t={sim:8.1f}s" if sim is not None else "t=       ?"
+        uav = payload.get("uav", "?")
+        lines.append(
+            f"  {stamp}  {uav:<8} {payload.get('previous', 'None')}"
+            f" -> {payload.get('guarantee', '?')}"
+        )
+    return lines
+
+
+def _event_tally(events: list[dict]) -> list[str]:
+    other = [e for e in events if e["name"] != "guarantee_transition"]
+    if not other:
+        return ["  (none)"]
+    tally: dict[tuple[str, str, str], int] = defaultdict(int)
+    for e in other:
+        tally[(e.get("severity", "info"), e.get("subsystem", "?"), e["name"])] += 1
+    lines = []
+    for (severity, subsystem, name), count in sorted(
+        tally.items(), key=lambda item: (-item[1], item[0])
+    ):
+        lines.append(f"  {count:>6}  [{severity:<7}] {subsystem}:{name}")
+    return lines
+
+
+def render_summary(records: list[dict]) -> str:
+    """The full report for one trace file's records."""
+    meta = next((r for r in records if r.get("kind") == "meta"), {})
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    snapshot = merge_snapshots(
+        r["snapshot"] for r in records if r.get("kind") == "metrics"
+    )
+
+    header = "trace summary"
+    described = {k: v for k, v in meta.items()
+                 if k not in ("kind", "schema_version")}
+    if described:
+        header += " — " + ", ".join(
+            f"{k}={v}" for k, v in sorted(described.items())
+        )
+    sections = [
+        header,
+        "",
+        f"phases ({len(spans)} spans)",
+        *_span_table(spans),
+        "",
+        "top topics by message count",
+        *_topic_table(snapshot),
+        "",
+        "guarantee transitions",
+        *_transition_lines(events),
+        "",
+        f"other events ({len(events)} events total)",
+        *_event_tally(events),
+    ]
+    return "\n".join(sections)

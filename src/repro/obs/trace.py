@@ -1,0 +1,132 @@
+"""Span tracer: nested wall-time + sim-time intervals.
+
+A span brackets one unit of work (``with span("eddi.diagnose",
+sim_time=now, uav="u1"): ...``) and records its wall-clock start/duration
+relative to the tracer's epoch, the simulation time when it opened, its
+nesting depth, and the index of its enclosing span — enough to rebuild
+the call tree or a Chrome ``chrome://tracing`` flame view. Spans close in
+a ``finally`` block, so an exception inside the body still produces a
+well-formed (and correctly un-nested) record before propagating.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One (possibly still open) traced interval."""
+
+    name: str
+    sim_time: float | None = None
+    labels: dict = field(default_factory=dict)
+    start_s: float = 0.0      # offset from the tracer epoch (wall)
+    duration_s: float = 0.0
+    depth: int = 0
+    parent: int | None = None  # index of the enclosing span, if recorded
+    index: int = -1
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "sim_time": self.sim_time,
+            "labels": dict(self.labels),
+            "start_s": round(self.start_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "depth": self.depth,
+            "parent": self.parent,
+            "index": self.index,
+        }
+
+
+class _OpenSpan:
+    """Context manager closing one span; reusable-free (one per entry)."""
+
+    __slots__ = ("_tracer", "span", "_t0", "_record")
+
+    def __init__(self, tracer: "Tracer", span: Span, record: bool) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._record = record
+        self._t0 = 0.0
+
+    def __enter__(self) -> Span:
+        self._t0 = time.perf_counter()
+        if self._record:
+            self.span.start_s = self._t0 - self._tracer.epoch
+            self._tracer._open(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.duration_s = time.perf_counter() - self._t0
+        if self._record:
+            self._tracer._close(self.span)
+
+
+class Tracer:
+    """Collects finished spans; bounded, process-local."""
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        self.capacity = capacity
+        self.epoch = time.perf_counter()
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._next_index = 0
+
+    def span(self, name: str, sim_time: float | None = None,
+             **labels: object) -> _OpenSpan:
+        """Open a recorded span (see module docstring)."""
+        return _OpenSpan(self, Span(name=name, sim_time=sim_time,
+                                    labels=dict(labels)), record=True)
+
+    def timed(self, name: str, sim_time: float | None = None,
+              **labels: object) -> _OpenSpan:
+        """A span that measures duration but is never recorded.
+
+        The building block for callers (like the campaign
+        :class:`~repro.harness.timing.PhaseTimer`) that need the elapsed
+        time regardless of whether observability is on.
+        """
+        return _OpenSpan(self, Span(name=name, sim_time=sim_time,
+                                    labels=dict(labels)), record=False)
+
+    # ----------------------------------------------------------- internal
+    def _open(self, span: Span) -> None:
+        span.depth = len(self._stack)
+        span.parent = self._stack[-1].index if self._stack else None
+        span.index = self._next_index
+        self._next_index += 1
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Exception-tolerant unwinding: pop through anything left open by
+        # a non-context-manager misuse, down to this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------- export
+    def drain(self) -> list[dict]:
+        """Return all finished spans as dicts and forget them."""
+        out = [s.to_dict() for s in self.spans]
+        for record in out:
+            record["pid"] = os.getpid()
+        self.spans.clear()
+        return out
+
+    def clear(self) -> None:
+        """Drop every recorded span and reset the epoch."""
+        self.spans.clear()
+        self._stack.clear()
+        self.dropped = 0
+        self._next_index = 0
+        self.epoch = time.perf_counter()

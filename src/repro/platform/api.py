@@ -12,7 +12,7 @@ consume it. It is the machine-readable sibling of
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.decider import MissionDecision
 from repro.platform.gcs import GroundControlStation

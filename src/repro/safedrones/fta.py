@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Union
+from typing import Protocol, Union
 
 
 class FailureModel(Protocol):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.safeml.ecdf import ecdf_pair, pooled_support
+from repro.safeml.ecdf import ecdf_pair
 
 
 def kolmogorov_smirnov_distance(a: np.ndarray, b: np.ndarray) -> float:

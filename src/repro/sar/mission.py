@@ -11,7 +11,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.sar.coverage import boustrophedon_path, partition_area, swath_width_m
 from repro.sar.detection import DetectionModel, DetectionOutcome

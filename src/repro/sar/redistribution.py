@@ -12,7 +12,7 @@ and appends the segment to that UAV's plan.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.uav.uav import FlightMode, Uav
 

@@ -12,12 +12,11 @@ dual-sensor aircraft keeps working through the day/night cycle.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sar.detection import TRAINING_ALTITUDE_M, detection_accuracy
+from repro.sar.detection import detection_accuracy
 
 
 class LightCondition(enum.Enum):

@@ -67,6 +67,34 @@ class ScenarioError(ValueError):
     """Raised for malformed scenario configurations."""
 
 
+def _number(value: Any, field_name: str) -> float:
+    """Coerce one scalar config value, naming the field on failure."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ScenarioError(
+            f"{field_name}: expected a number, got {value!r}"
+        ) from None
+
+
+def _integer(value: Any, field_name: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ScenarioError(
+            f"{field_name}: expected an integer, got {value!r}"
+        ) from None
+
+
+def _vector(value: Any, length: int, field_name: str) -> tuple[float, ...]:
+    """Coerce a fixed-length numeric sequence, naming the field on failure."""
+    if not isinstance(value, (list, tuple)) or len(value) != length:
+        raise ScenarioError(
+            f"{field_name}: expected {length} numbers, got {value!r}"
+        )
+    return tuple(_number(v, f"{field_name}[{i}]") for i, v in enumerate(value))
+
+
 @dataclass
 class Scenario:
     """A loaded scenario: the world plus its fault schedule."""
@@ -89,29 +117,34 @@ class Scenario:
                 callback(self)
 
 
-def _build_fault(spec: dict[str, Any]):
+def _build_fault(spec: dict[str, Any], index: int):
+    where = f"faults[{index}]"
     kind = spec.get("type")
     uav = spec.get("uav")
-    at = spec.get("at")
-    if kind is None or uav is None or at is None:
-        raise ScenarioError(f"fault needs type/uav/at: {spec!r}")
+    if kind is None or uav is None or spec.get("at") is None:
+        raise ScenarioError(f"{where}: fault needs type/uav/at: {spec!r}")
+    at = _number(spec["at"], f"{where}.at")
     if kind == "battery_collapse":
-        return battery_collapse(uav, float(at), spec.get("soc_drop_to", 0.4))
+        return battery_collapse(
+            uav, at, _number(spec.get("soc_drop_to", 0.4), f"{where}.soc_drop_to")
+        )
     if kind == "gps_denial":
         duration = spec.get("duration")
-        return gps_denial(uav, float(at), float(duration) if duration else None)
+        return gps_denial(
+            uav, at,
+            _number(duration, f"{where}.duration") if duration else None,
+        )
     if kind == "gps_spoof":
-        offset = spec.get("offset")
-        if not isinstance(offset, (list, tuple)) or len(offset) != 3:
-            raise ScenarioError(f"gps_spoof needs a 3-element offset: {spec!r}")
-        return gps_spoof(uav, float(at), tuple(float(v) for v in offset))
+        return gps_spoof(uav, at, _vector(spec.get("offset"), 3, f"{where}.offset"))
     if kind == "camera_degradation":
-        return camera_degradation(uav, float(at), spec.get("rate", 0.02))
+        return camera_degradation(
+            uav, at, _number(spec.get("rate", 0.02), f"{where}.rate")
+        )
     if kind == "imu_failure":
-        return imu_failure(uav, float(at))
+        return imu_failure(uav, at)
     if kind == "motor_failure":
-        return motor_failure(uav, float(at))
-    raise ScenarioError(f"unknown fault type {kind!r}")
+        return motor_failure(uav, at)
+    raise ScenarioError(f"{where}: unknown fault type {kind!r}")
 
 
 def load_scenario(config: dict[str, Any]) -> Scenario:
@@ -120,14 +153,17 @@ def load_scenario(config: dict[str, Any]) -> Scenario:
     if not uav_specs:
         raise ScenarioError("scenario needs a non-empty 'uavs' list")
 
-    seed = int(config.get("seed", 0))
+    seed = _integer(config.get("seed", 0), "seed")
     rng = np.random.default_rng(seed)
-    area = tuple(config.get("area_size_m", (400.0, 300.0)))
+    area = _vector(config.get("area_size_m", (400.0, 300.0)), 2, "area_size_m")
+    dt = _number(config.get("dt", 0.5), "dt")
+    if dt <= 0:
+        raise ScenarioError(f"dt: must be positive, got {dt!r}")
     world = World(
         frame=EnuFrame(origin=GeoPoint(35.1456, 33.4299, 0.0)),
         rng=rng,
-        area_size_m=(float(area[0]), float(area[1])),
-        dt=float(config.get("dt", 0.5)),
+        area_size_m=(area[0], area[1]),
+        dt=dt,
     )
 
     env_config = config.get("environment")
@@ -135,30 +171,39 @@ def load_scenario(config: dict[str, Any]) -> Scenario:
         visibility = env_config.get("visibility", "good")
         world.environment = Environment(
             rng=np.random.default_rng(seed + 1),
-            wind_direction_deg=float(env_config.get("wind_direction_deg", 270.0)),
+            wind_direction_deg=_number(
+                env_config.get("wind_direction_deg", 270.0),
+                "environment.wind_direction_deg",
+            ),
             gusts=GustProcess(
                 rng=np.random.default_rng(seed + 2),
-                mean_mps=float(env_config.get("wind_mean_mps", 3.0)),
+                mean_mps=_number(
+                    env_config.get("wind_mean_mps", 3.0),
+                    "environment.wind_mean_mps",
+                ),
             ),
-            ambient_c=float(env_config.get("ambient_c", 25.0)),
+            ambient_c=_number(
+                env_config.get("ambient_c", 25.0), "environment.ambient_c"
+            ),
             visibility=visibility,
         )
 
     seen_ids = set()
-    for uav_config in uav_specs:
+    for position, uav_config in enumerate(uav_specs):
         uav_id = uav_config.get("id")
         if not uav_id:
-            raise ScenarioError(f"uav entry needs an 'id': {uav_config!r}")
+            raise ScenarioError(
+                f"uavs[{position}]: uav entry needs an 'id': {uav_config!r}"
+            )
         if uav_id in seen_ids:
-            raise ScenarioError(f"duplicate uav id {uav_id!r}")
+            raise ScenarioError(f"uavs[{position}].id: duplicate uav id {uav_id!r}")
         seen_ids.add(uav_id)
-        base = tuple(float(v) for v in uav_config.get("base", (0.0, 0.0, 0.0)))
-        if len(base) != 3:
-            raise ScenarioError(f"{uav_id}: base must have 3 elements")
+        where = f"uavs[{position}] ({uav_id})"
+        base = _vector(uav_config.get("base", (0.0, 0.0, 0.0)), 3, f"{where}.base")
         uav = Uav(
             spec=UavSpec(
                 uav_id=uav_id,
-                rotor_count=int(uav_config.get("rotors", 4)),
+                rotor_count=_integer(uav_config.get("rotors", 4), f"{where}.rotors"),
                 base_position=base,
                 battery_spec=BatterySpec(),
             ),
@@ -167,35 +212,43 @@ def load_scenario(config: dict[str, Any]) -> Scenario:
             rng=rng,
         )
         if "max_speed_mps" in uav_config:
-            uav.dynamics.max_speed_mps = float(uav_config["max_speed_mps"])
+            uav.dynamics.max_speed_mps = _number(
+                uav_config["max_speed_mps"], f"{where}.max_speed_mps"
+            )
         world.add_uav(uav)
 
-    n_persons = int(config.get("persons", 0))
+    n_persons = _integer(config.get("persons", 0), "persons")
     if n_persons:
         world.scatter_persons(n_persons)
 
     faults = FaultSchedule()
-    for fault_spec in config.get("faults", ()):
-        fault = _build_fault(fault_spec)
+    for index, fault_spec in enumerate(config.get("faults", ())):
+        fault = _build_fault(fault_spec, index)
         if fault.target_uav not in world.uavs:
             raise ScenarioError(
-                f"fault targets unknown uav {fault.target_uav!r}"
+                f"faults[{index}].uav: fault targets unknown uav "
+                f"{fault.target_uav!r}"
             )
         faults.add(fault)
 
-    for attack_spec in config.get("attacks", ()):
+    for index, attack_spec in enumerate(config.get("attacks", ())):
+        where = f"attacks[{index}]"
         if attack_spec.get("type") != "ros_spoofing":
-            raise ScenarioError(f"unknown attack type {attack_spec!r}")
+            raise ScenarioError(f"{where}.type: unknown attack type {attack_spec!r}")
         world.add_attacker(
             SpoofingAttack(
                 bus=world.bus,
-                t_start=float(attack_spec.get("start", 0.0)),
-                t_stop=float(attack_spec.get("stop", float("inf"))),
+                t_start=_number(attack_spec.get("start", 0.0), f"{where}.start"),
+                t_stop=_number(
+                    attack_spec.get("stop", float("inf")), f"{where}.stop"
+                ),
                 name=attack_spec.get("name", "adversary"),
                 topic=attack_spec.get("topic", "/uav1/pose"),
                 spoofed_sender=attack_spec.get("sender", "uav1"),
                 payload_fn=lambda now: {"forged": True, "t": now},
-                rate_hz=float(attack_spec.get("rate_hz", 5.0)),
+                rate_hz=_number(
+                    attack_spec.get("rate_hz", 5.0), f"{where}.rate_hz"
+                ),
             )
         )
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.middleware.rosbus import Message, RosBus
+from repro.obs import OBS, event
 from repro.security.broker import MqttBroker
 
 
@@ -78,9 +79,17 @@ class IntrusionDetectionSystem:
         for message in messages:
             new_alerts.extend(self._check_message(message))
             new_alerts.extend(self._check_rate(message, now))
+        obs_on = OBS.enabled
         for alert in new_alerts:
             self.alerts.append(alert)
             self.broker.publish(f"ids/alerts/{alert.alert_type}", alert)
+            if obs_on:
+                OBS.metrics.inc("ids_alerts_total", type=alert.alert_type)
+                event(
+                    "warning", "security.ids", alert.alert_type,
+                    sim_time=alert.stamp, topic=alert.topic,
+                    suspect=alert.suspect,
+                )
         return new_alerts
 
     def _check_message(self, message: Message) -> list[Alert]:

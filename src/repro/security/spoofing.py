@@ -24,6 +24,8 @@ import math
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs import event
+
 
 @dataclass(frozen=True)
 class SpoofVerdict:
@@ -120,7 +122,7 @@ class GpsSpoofingDetector:
         threshold = self.base_threshold_m + self.drift_rate_mps * age
 
         # --- cumulative-divergence test (slow ramps) ----------------------
-        gps_delta = tuple(g - l for g, l in zip(gps_enu, self._last_gps))
+        gps_delta = tuple(g - last for g, last in zip(gps_enu, self._last_gps))
         imu_delta = tuple(v * dt for v in imu_velocity)
         self._divergences.append(
             (now, tuple(g - i for g, i in zip(gps_delta, imu_delta)))
@@ -150,6 +152,12 @@ class GpsSpoofingDetector:
         if self._hits >= self.hits_to_alarm and not self.spoof_detected:
             self.spoof_detected = True
             self.detection_time = now
+            event(
+                "warning", "security.spoofing", "gps_spoof_detected",
+                sim_time=now,
+                innovation_m=round(innovation, 3),
+                cumulative_divergence_m=round(cumulative, 3),
+            )
 
         verdict = SpoofVerdict(
             spoofed=self.spoof_detected,

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import event
+
 
 @dataclass(frozen=True)
 class BatterySpec:
@@ -86,6 +88,11 @@ class Battery:
                 self.faulted = True
                 self.soc = min(self.soc, fault.soc_drop_to)
                 self.temp_c += fault.temp_rise_c
+                event(
+                    "warning", "uav.battery", "fault_activated",
+                    sim_time=now, soc_drop_to=fault.soc_drop_to,
+                    temp_c=round(self.temp_c, 2),
+                )
 
     @property
     def soc_percent(self) -> float:

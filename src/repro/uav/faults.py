@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.middleware.degraded import DegradedBus
+from repro.obs import event
 from repro.uav.battery import BatteryFault
 from repro.uav.uav import Uav
 
@@ -266,6 +267,14 @@ class FaultSchedule:
             if fault.step(now, uav):
                 state = "cleared" if fault.cleared else "applied"
                 self.log.append((now, fault.name, state))
+                event(
+                    "warning" if state == "applied" else "info",
+                    "uav.faults",
+                    f"fault_{state}",
+                    sim_time=now,
+                    uav=fault.target_uav,
+                    fault=fault.name,
+                )
 
     @property
     def all_applied(self) -> bool:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.geo import EnuFrame
 from repro.middleware.rosbus import RosBus
+from repro.obs import event
 from repro.uav.battery import Battery, BatterySpec
 from repro.uav.dynamics import UavDynamics, WaypointPlan
 from repro.uav.sensors import GpsFix, SensorSuite
@@ -123,6 +124,12 @@ class Uav:
 
     def command_mode(self, mode: FlightMode) -> None:
         """Apply a flight-mode command from the assurance layer."""
+        if mode is not self.mode:
+            event(
+                "info", "uav.uav", "mode_transition",
+                uav=self.spec.uav_id,
+                previous=self.mode.value, mode=mode.value,
+            )
         self.mode = mode
 
     def command_guided_setpoint(self, setpoint: tuple[float, float, float]) -> None:

@@ -7,11 +7,13 @@ detection models sample against.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.geo import EnuFrame, GeoPoint
+from repro.obs import OBS
 from repro.middleware.attacks import Attacker
 from repro.uav.environment import Environment
 from repro.middleware.rosbus import RosBus
@@ -72,6 +74,9 @@ class World:
 
     def step(self) -> float:
         """Advance the whole world by ``dt``; returns the new time."""
+        obs_on = OBS.enabled
+        if obs_on:
+            tick_start = _time.perf_counter()
         self.time += self.dt
         self.bus.advance_clock(self.time)
         for attacker in self.attackers:
@@ -94,6 +99,11 @@ class World:
             )
             if self.environment is not None:
                 self.environment.apply_wind_drift(uav.dynamics, self.dt)
+        if obs_on:
+            OBS.metrics.inc("world_ticks_total")
+            OBS.metrics.observe(
+                "world_tick_duration_s", _time.perf_counter() - tick_start
+            )
         return self.time
 
     def run_until(self, t_end: float, callback=None) -> None:

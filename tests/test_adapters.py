@@ -1,7 +1,6 @@
 """Tests for the standard EDDI wiring factory."""
 
 import numpy as np
-import pytest
 
 from repro.core.adapters import build_fleet_eddis, build_uav_eddi
 from repro.core.decider import MissionDecider, MissionVerdict

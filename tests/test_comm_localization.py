@@ -8,7 +8,6 @@ import pytest
 from repro.localization.comm import (
     CommLocalizationService,
     CommLocalizer,
-    RangeMeasurement,
     RfRangingModel,
 )
 

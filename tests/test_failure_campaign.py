@@ -5,7 +5,6 @@ through the fault framework and verify the EDDI layer reaches the safe
 decision the Fig. 1 logic prescribes for each combination.
 """
 
-import pytest
 
 from repro.core.eddi import Eddi, MonitorAdapter
 from repro.core.uav_network import UavConSertNetwork, UavGuarantee

@@ -6,10 +6,8 @@ spoofing-detection-to-collaborative-landing response chain, and the
 design-time-to-runtime ODE package flow.
 """
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.core.decider import MissionDecider, MissionVerdict
 from repro.core.eddi import Eddi, MonitorAdapter
@@ -30,7 +28,6 @@ from repro.security.broker import MqttBroker
 from repro.security.eddi import SecurityEddi
 from repro.security.ids import IntrusionDetectionSystem
 from repro.safedrones.monitor import SafeDronesMonitor
-from repro.uav.uav import FlightMode
 
 
 class TestFullPlatformMission:

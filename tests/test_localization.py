@@ -14,7 +14,7 @@ from repro.localization.collaborative import (
     sighting_to_position,
 )
 from repro.localization.depth import MonocularDepthEstimator
-from repro.localization.detection import DroneDetection, DroneDetector
+from repro.localization.detection import DroneDetector
 from repro.localization.fusion import ConstantVelocityKalman
 
 FRAME = EnuFrame(origin=GeoPoint(35.0, 33.0, 0.0))

@@ -10,7 +10,6 @@ import importlib
 import inspect
 import pkgutil
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 import repro
@@ -119,8 +118,6 @@ class TestLayering:
     )
 
     def test_substrates_never_import_technologies(self):
-        import sys
-
         violations = []
         prefix = repro.__name__ + "."
         for module_info in pkgutil.walk_packages(repro.__path__, prefix):

@@ -8,7 +8,6 @@ from repro.core.decider import MissionDecider, MissionVerdict
 from repro.core.responses import FleetResponseCoordinator, StandardResponsePolicy
 from repro.core.uav_network import UavConSertNetwork, UavGuarantee
 from repro.geo import EnuFrame, GeoPoint
-from repro.middleware.rosbus import RosBus
 from repro.sar.coverage import boustrophedon_path, partition_area
 from repro.uav.battery import BatteryFault
 from repro.uav.uav import FlightMode, Uav, UavSpec

@@ -1,0 +1,136 @@
+"""Validation tests: every archived scenario loads; loader errors name fields."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import ScenarioError, load_scenario, load_scenario_json
+
+SCENARIOS = Path(__file__).resolve().parent.parent / "scenarios"
+SCENARIO_FILES = sorted(SCENARIOS.glob("*.json"))
+
+
+class TestArchivedScenarios:
+    def test_archive_is_not_empty(self):
+        assert SCENARIO_FILES
+
+    @pytest.mark.parametrize(
+        "path", SCENARIO_FILES, ids=[p.stem for p in SCENARIO_FILES]
+    )
+    def test_roundtrips_through_the_loader(self, path):
+        text = path.read_text()
+        scenario = load_scenario_json(text)
+        config = json.loads(text)
+        assert sorted(scenario.world.uavs) == sorted(
+            u["id"] for u in config["uavs"]
+        )
+        assert len(scenario.world.persons) == config.get("persons", 0)
+        assert len(scenario.faults.faults) == len(config.get("faults", []))
+        # A re-serialised config loads to the same fleet.
+        again = load_scenario_json(json.dumps(scenario.config))
+        assert sorted(again.world.uavs) == sorted(scenario.world.uavs)
+
+    @pytest.mark.parametrize(
+        "path", SCENARIO_FILES, ids=[p.stem for p in SCENARIO_FILES]
+    )
+    def test_scenarios_step_cleanly(self, path):
+        scenario = load_scenario_json(path.read_text())
+        scenario.run_until(2.0)
+        assert scenario.world.time >= 2.0
+
+
+BASE = {
+    "seed": 1,
+    "uavs": [{"id": "uav1", "base": [0, 0, 0]}],
+}
+
+
+def _mutated(**overrides):
+    config = json.loads(json.dumps(BASE))
+    config.update(overrides)
+    return config
+
+
+class TestErrorsNameTheOffendingField:
+    """Every loader rejection must point at the field that caused it."""
+
+    @pytest.mark.parametrize(
+        "config, fragment",
+        [
+            (_mutated(seed="not-a-number"), "seed"),
+            (_mutated(dt="fast"), "dt"),
+            (_mutated(dt=0), "dt"),
+            (_mutated(area_size_m=[100]), "area_size_m"),
+            (_mutated(area_size_m=[100, "wide"]), "area_size_m[1]"),
+            (_mutated(persons="many"), "persons"),
+            (_mutated(environment={"wind_mean_mps": "breezy"}),
+             "environment.wind_mean_mps"),
+            (_mutated(environment={"ambient_c": None}),
+             "environment.ambient_c"),
+            (_mutated(uavs=[{"base": [0, 0, 0]}]), "uavs[0]"),
+            (_mutated(uavs=[{"id": "a"}, {"id": "a"}]), "uavs[1].id"),
+            (_mutated(uavs=[{"id": "u", "base": [0, 0]}]), "uavs[0] (u).base"),
+            (_mutated(uavs=[{"id": "u", "rotors": "six"}]),
+             "uavs[0] (u).rotors"),
+            (_mutated(uavs=[{"id": "u", "max_speed_mps": "fast"}]),
+             "uavs[0] (u).max_speed_mps"),
+            (_mutated(faults=[{"uav": "uav1", "at": 1.0}]), "faults[0]"),
+            (_mutated(faults=[{"type": "imu_failure", "uav": "uav1",
+                               "at": "soon"}]), "faults[0].at"),
+            (_mutated(faults=[{"type": "battery_collapse", "uav": "uav1",
+                               "at": 1.0, "soc_drop_to": "low"}]),
+             "faults[0].soc_drop_to"),
+            (_mutated(faults=[{"type": "gps_denial", "uav": "uav1",
+                               "at": 1.0, "duration": "short"}]),
+             "faults[0].duration"),
+            (_mutated(faults=[{"type": "gps_spoof", "uav": "uav1",
+                               "at": 1.0}]), "faults[0].offset"),
+            (_mutated(faults=[{"type": "gps_spoof", "uav": "uav1",
+                               "at": 1.0, "offset": [1, "east", 0]}]),
+             "faults[0].offset[1]"),
+            (_mutated(faults=[{"type": "camera_degradation", "uav": "uav1",
+                               "at": 1.0, "rate": []}]), "faults[0].rate"),
+            (_mutated(faults=[{"type": "warp_drive", "uav": "uav1",
+                               "at": 1.0}]), "faults[0]"),
+            (_mutated(faults=[{"type": "imu_failure", "uav": "ghost",
+                               "at": 1.0}]), "faults[0].uav"),
+            (_mutated(attacks=[{"type": "emp"}]), "attacks[0].type"),
+            (_mutated(attacks=[{"type": "ros_spoofing",
+                                "rate_hz": "often"}]),
+             "attacks[0].rate_hz"),
+            (_mutated(attacks=[{"type": "ros_spoofing", "start": "dawn"}]),
+             "attacks[0].start"),
+        ],
+        ids=lambda v: v if isinstance(v, str) else None,
+    )
+    def test_error_message_names_field(self, config, fragment):
+        with pytest.raises(ScenarioError) as excinfo:
+            load_scenario(config)
+        assert fragment in str(excinfo.value)
+
+    def test_second_fault_reports_its_own_index(self):
+        config = _mutated(
+            faults=[
+                {"type": "imu_failure", "uav": "uav1", "at": 1.0},
+                {"type": "imu_failure", "uav": "uav1", "at": "later"},
+            ]
+        )
+        with pytest.raises(ScenarioError, match=r"faults\[1\]\.at"):
+            load_scenario(config)
+
+    def test_valid_config_still_loads_after_hardening(self):
+        scenario = load_scenario(
+            _mutated(
+                dt=0.25,
+                area_size_m=[120, 80],
+                persons=2,
+                environment={"wind_mean_mps": 4.0},
+                faults=[{"type": "motor_failure", "uav": "uav1", "at": 1.0}],
+                attacks=[{"type": "ros_spoofing", "topic": "/uav1/pose",
+                          "sender": "uav1", "start": 0.5, "rate_hz": 2.0}],
+            )
+        )
+        assert scenario.world.dt == 0.25
+        scenario.run_until(1.5)
+        assert scenario.world.uavs["uav1"].motors_failed == 1
