@@ -1,0 +1,141 @@
+"""Fleet engine scaling benchmark: vectorized vs scalar step loop.
+
+The acceptance bar for the vectorized fleet engine: at 50 UAVs the
+batched step loop must run at least 5x faster than the scalar reference
+on the same mission. Two configurations are timed at every fleet size:
+
+- **step loop** (telemetry gated off): the per-step physics the engine
+  batches — kinematics, battery electro-thermal, wind, sensor noise.
+  This is where the 5x bar applies.
+- **full pipeline** (default 2 Hz telemetry, which at dt=0.5 s fires
+  every step): adds telemetry object construction and bus delivery.
+  Those messages are the *product* — identical frozen dataclasses in
+  both engines — so construction cost is a shared floor and the
+  end-to-end ratio sits lower (roughly 4x at 50 UAVs). The table
+  reports both so the headline is honest about what vectorization can
+  and cannot remove.
+
+GC is disabled around the timed loops (as pytest-benchmark itself does
+by default): both engines allocate the same telemetry object graphs, and
+collection pauses would otherwise add identical noise to both columns.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.experiments.common import build_three_uav_world
+
+from conftest import print_table
+
+FLEET_SIZES = (3, 10, 50, 100)
+STEPS = 120
+WARMUP_STEPS = 10
+REPEATS = 3
+TARGET_SPEEDUP_AT_50 = 5.0
+
+
+def _build_world(n_uavs: int, engine: str, telemetry: bool):
+    scenario = build_three_uav_world(
+        seed=11, n_persons=0, n_uavs=n_uavs, engine=engine
+    )
+    world = scenario.world
+    for i, uav in enumerate(world.uavs.values()):
+        # Far-off waypoints keep the whole fleet cruising for the full
+        # timed window (a landed UAV is cheap and would flatter the loop).
+        uav.start_mission(
+            [(5000.0 + 10.0 * i, 4000.0, 30.0), (5000.0 + 10.0 * i, 8000.0, 30.0)]
+        )
+        if not telemetry:
+            # Interval of ~1e9 s: fires once on the first step, then
+            # never again inside the timed window — on both engines.
+            uav.telemetry_rate_hz = 1e-9
+    return world
+
+
+def _time_steps(world, steps: int) -> float:
+    """Median-free best-effort timing: one contiguous stepped window."""
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(steps):
+            world.step()
+        return time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _per_step_us(n_uavs: int, engine: str, telemetry: bool) -> float:
+    """Best-of-REPEATS per-step cost in microseconds."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        world = _build_world(n_uavs, engine, telemetry)
+        _time_steps(world, WARMUP_STEPS)
+        best = min(best, _time_steps(world, STEPS) / STEPS)
+    return best * 1e6
+
+
+def test_bench_fleet_scaling(benchmark):
+    rows = []
+    results = {}
+    for n_uavs in FLEET_SIZES:
+        scalar_step = _per_step_us(n_uavs, "scalar", telemetry=False)
+        vector_step = _per_step_us(n_uavs, "vectorized", telemetry=False)
+        scalar_full = _per_step_us(n_uavs, "scalar", telemetry=True)
+        vector_full = _per_step_us(n_uavs, "vectorized", telemetry=True)
+        results[n_uavs] = (scalar_step, vector_step, scalar_full, vector_full)
+        rows.append(
+            [
+                n_uavs,
+                f"{scalar_step:.0f}",
+                f"{vector_step:.0f}",
+                f"{scalar_step / vector_step:.1f}x",
+                f"{scalar_full:.0f}",
+                f"{vector_full:.0f}",
+                f"{scalar_full / vector_full:.1f}x",
+            ]
+        )
+    print_table(
+        "Fleet scaling: per-step cost, scalar vs vectorized (us)",
+        [
+            "uavs",
+            "step scalar", "step vector", "step speedup",
+            "full scalar", "full vector", "full speedup",
+        ],
+        rows,
+    )
+
+    # Timed artifact for the benchmark JSON: the 50-UAV vectorized loop.
+    world = _build_world(50, "vectorized", telemetry=False)
+    _time_steps(world, WARMUP_STEPS)
+    gc.disable()
+    try:
+        benchmark.pedantic(
+            lambda: [world.step() for _ in range(STEPS)],
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        gc.enable()
+
+    scalar_step, vector_step, scalar_full, vector_full = results[50]
+    speedup_step = scalar_step / vector_step
+    speedup_full = scalar_full / vector_full
+    benchmark.extra_info["per_step_us_scalar_50"] = round(scalar_step, 1)
+    benchmark.extra_info["per_step_us_vectorized_50"] = round(vector_step, 1)
+    benchmark.extra_info["step_loop_speedup_50"] = round(speedup_step, 2)
+    benchmark.extra_info["full_pipeline_speedup_50"] = round(speedup_full, 2)
+
+    assert speedup_step >= TARGET_SPEEDUP_AT_50, (
+        f"50-UAV step loop speedup {speedup_step:.2f}x is below the "
+        f"{TARGET_SPEEDUP_AT_50}x acceptance bar "
+        f"(scalar {scalar_step:.0f} us vs vectorized {vector_step:.0f} us)"
+    )
+    # The full pipeline shares the telemetry-construction floor; it must
+    # still be clearly faster, just not 5x (see module docstring).
+    assert speedup_full >= 2.0, (
+        f"50-UAV full-pipeline speedup {speedup_full:.2f}x regressed"
+    )

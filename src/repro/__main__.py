@@ -10,6 +10,9 @@ Usage::
     python -m repro fig7          # collaborative safe landing
     python -m repro conserts      # Fig. 1 scenario matrix
     python -m repro comm          # degraded-comm availability sweep
+    python -m repro fleet-scale   # SAR coverage time vs fleet size
+
+    python -m repro fig5 --engine vectorized           # batched fleet physics
 
     python -m repro campaign list                      # sweep catalogue
     python -m repro campaign monte-carlo --workers 4   # sharded sweep
@@ -25,16 +28,16 @@ import argparse
 import sys
 
 
-def _run_fig4(seed: int) -> None:
+def _run_fig4(seed: int, engine: str = "scalar") -> None:
     from repro.experiments.fig4_platform import run_fig4_platform_demo
 
-    print(run_fig4_platform_demo(seed=seed).render())
+    print(run_fig4_platform_demo(seed=seed, engine=engine).render())
 
 
-def _run_fig5(seed: int) -> None:
+def _run_fig5(seed: int, engine: str = "scalar") -> None:
     from repro.experiments import run_fig5_battery_experiment
 
-    result = run_fig5_battery_experiment(seed=seed)
+    result = run_fig5_battery_experiment(seed=seed, engine=engine)
     print(f"nominal mission:        {result.nominal_mission_s:.0f} s")
     crossing = result.with_sesame.threshold_crossing_time
     print(f"PoF 0.9 crossing:       {crossing:.0f} s" if crossing else "no crossing")
@@ -56,28 +59,28 @@ def _run_sar_accuracy(seed: int) -> None:
     print(f"operating altitude:     {result.final_altitude_m:.0f} m")
 
 
-def _run_fig6(seed: int) -> None:
+def _run_fig6(seed: int, engine: str = "scalar") -> None:
     from repro.experiments import run_fig6_spoofing_experiment
 
-    result = run_fig6_spoofing_experiment(seed=seed)
+    result = run_fig6_spoofing_experiment(seed=seed, engine=engine)
     print(f"max trajectory deviation: {result.max_deviation_m:.1f} m")
     print(f"Security EDDI latency:    {result.eddi_latency_s:.1f} s")
     print(f"IMU cross-check latency:  {result.sensor_latency_s:.1f} s")
 
 
-def _run_fig7(seed: int) -> None:
+def _run_fig7(seed: int, engine: str = "scalar") -> None:
     from repro.experiments import run_fig7_collaborative_landing
 
-    result = run_fig7_collaborative_landing(seed=seed)
+    result = run_fig7_collaborative_landing(seed=seed, engine=engine)
     print(f"landed:                {result.cl_report.landed}")
     print(f"landing error:         {result.cl_report.final_error_m:.2f} m")
     print(f"baseline (no CL):      {result.baseline_error_m:.2f} m")
 
 
-def _run_comm(seed: int) -> None:
+def _run_comm(seed: int, engine: str = "scalar") -> None:
     from repro.experiments import run_comm_availability_experiment
 
-    result = run_comm_availability_experiment(seed=seed)
+    result = run_comm_availability_experiment(seed=seed, engine=engine)
     print("loss    delivery (exp/meas)   availability   demotions")
     for loss, expected, measured, availability, demotions in result.summary_rows():
         print(
@@ -98,6 +101,13 @@ def _run_conserts(seed: int) -> None:
         )
 
 
+def _run_fleet_scale(seed: int, engine: str = "vectorized") -> None:
+    from repro.experiments import run_fleet_scale_experiment
+
+    result = run_fleet_scale_experiment(seed=seed, engine=engine)
+    print(result.render())
+
+
 COMMANDS = {
     "fig4": _run_fig4,
     "fig5": _run_fig5,
@@ -106,7 +116,12 @@ COMMANDS = {
     "fig7": _run_fig7,
     "conserts": _run_conserts,
     "comm": _run_comm,
+    "fleet-scale": _run_fleet_scale,
 }
+
+# Commands whose experiment builds a simulation world and therefore takes
+# the --engine flag (scalar reference vs bit-identical vectorized batch).
+ENGINE_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig7", "comm", "fleet-scale"})
 
 
 def _write_metrics_dump(path: str, snapshot: dict | None) -> None:
@@ -125,14 +140,15 @@ def _run_single(name: str, args: argparse.Namespace) -> int:
     """Run one single-shot experiment, optionally under an obs session."""
     from repro import obs
 
+    kwargs = {"engine": args.engine} if name in ENGINE_COMMANDS else {}
     if args.trace is None and args.metrics is None:
-        COMMANDS[name](args.seed)
+        COMMANDS[name](args.seed, **kwargs)
         return 0
     with obs.capture(
         trace_path=args.trace,
         meta={"experiment": name, "seed": args.seed},
     ) as captured:
-        COMMANDS[name](args.seed)
+        COMMANDS[name](args.seed, **kwargs)
     if args.trace is not None:
         print(f"trace: {args.trace}")
     if args.metrics is not None:
@@ -192,12 +208,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     defaults = {"fig4": 42, "fig5": 3, "sar-accuracy": 5, "fig6": 9, "fig7": 13,
-                "conserts": 0, "comm": 7}
+                "conserts": 0, "comm": 7, "fleet-scale": 21}
     for name in sorted(COMMANDS):
         single = sub.add_parser(name, help=f"run the {name} experiment")
         single.add_argument(
             "--seed", type=int, default=defaults[name], help="override the seed"
         )
+        if name in ENGINE_COMMANDS:
+            single.add_argument(
+                "--engine",
+                choices=("scalar", "vectorized"),
+                default="vectorized" if name == "fleet-scale" else "scalar",
+                help="world step implementation (bit-identical results)",
+            )
         single.add_argument(
             "--trace", default=None, metavar="PATH",
             help="capture an observability trace (JSONL) to PATH",

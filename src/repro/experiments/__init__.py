@@ -23,6 +23,11 @@ from repro.experiments.comm_availability import (
     CommSweepPoint,
     run_comm_availability_experiment,
 )
+from repro.experiments.fleet_scale import (
+    FleetScalePoint,
+    FleetScaleResult,
+    run_fleet_scale_experiment,
+)
 
 __all__ = [
     "Fig5Result",
@@ -42,4 +47,7 @@ __all__ = [
     "CommAvailabilityResult",
     "CommSweepPoint",
     "run_comm_availability_experiment",
+    "FleetScalePoint",
+    "FleetScaleResult",
+    "run_fleet_scale_experiment",
 ]

@@ -9,6 +9,7 @@ the full catalogue — has a single import to make.
 from __future__ import annotations
 
 import repro.experiments.comm_availability  # noqa: F401  (registers "comm")
+import repro.experiments.fleet_scale  # noqa: F401  (registers "fleet-scale")
 import repro.experiments.monte_carlo  # noqa: F401  (registers "monte-carlo")
 import repro.harness.synthetic  # noqa: F401  (registers "synthetic")
 

@@ -91,10 +91,14 @@ def _make_channel(loss: float, rng: np.random.Generator) -> GilbertElliottChanne
 
 
 def _run_point(
-    loss: float, seed: int, duration_s: float, staleness_s: float
+    loss: float,
+    seed: int,
+    duration_s: float,
+    staleness_s: float,
+    engine: str = "scalar",
 ) -> CommSweepPoint:
     bus = DegradedBus(rng=np.random.default_rng(seed + 1))
-    scenario = build_three_uav_world(seed=seed, n_persons=0, bus=bus)
+    scenario = build_three_uav_world(seed=seed, n_persons=0, bus=bus, engine=engine)
     world = scenario.world
 
     # Night ops under GPS jamming: comm localization carries the mission.
@@ -170,6 +174,7 @@ def comm_availability_sample(config: dict, seed: int, timer: PhaseTimer) -> dict
             run_seed,
             float(config["duration_s"]),
             float(config["staleness_s"]),
+            engine=str(config.get("engine", "scalar")),
         )
     return {
         "seed": run_seed,
@@ -249,6 +254,7 @@ def run_comm_availability_experiment(
     staleness_s: float = 4.0,
     workers: int = 1,
     cache_dir=None,
+    engine: str = "scalar",
 ) -> CommAvailabilityResult:
     """Sweep link loss and report fleet mission availability per level.
 
@@ -256,6 +262,8 @@ def run_comm_availability_experiment(
     loss levels across processes (identical results at any worker count)
     and ``cache_dir`` to skip already-completed points. Every level runs
     at the same scenario ``seed``, matching the figure's construction.
+    ``engine`` selects the world step implementation; the default is
+    omitted from the sample configs so existing cache keys stay valid.
     """
     configs = [
         {
@@ -263,6 +271,7 @@ def run_comm_availability_experiment(
             "duration_s": duration_s,
             "staleness_s": staleness_s,
             "seed": seed,
+            **({"engine": engine} if engine != "scalar" else {}),
         }
         for loss in loss_rates
     ]

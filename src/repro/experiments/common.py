@@ -41,6 +41,7 @@ def build_three_uav_world(
     n_persons: int = 8,
     bus: RosBus | None = None,
     n_uavs: int = 3,
+    engine: str = "scalar",
 ) -> FleetScenario:
     """Create the paper's three-UAV setup on a fresh world.
 
@@ -48,9 +49,16 @@ def build_three_uav_world(
     platform demonstration of Fig. 4. Pass ``bus`` to run the fleet over a
     custom transport (e.g. a :class:`~repro.middleware.degraded.DegradedBus`);
     the default is the perfect in-process bus. ``n_uavs`` extends (or
-    shrinks) the fleet along the same south-edge spacing; the world keeps
-    its own generator and each UAV gets an independent spawned stream, so
-    the fleet size never changes an existing UAV's draws.
+    shrinks) the fleet along the same south edge; fleets up to three keep
+    the paper's exact 150 m spacing, while larger fleets spread evenly
+    across the area width so every base stays adjacent to the search area
+    (at 150 m apart a 50-UAV fleet would start kilometres outside it).
+    The world keeps its own generator and each UAV gets an independent
+    spawned stream, so the fleet size never changes an existing UAV's
+    draws.
+
+    ``engine`` selects the world's step implementation ("scalar" or
+    "vectorized"); both produce bit-identical trajectories.
     """
     rng = np.random.default_rng(seed)
     kwargs = {} if bus is None else {"bus": bus}
@@ -59,13 +67,19 @@ def build_three_uav_world(
         rng=rng,
         area_size_m=area_size_m,
         dt=dt,
+        engine=engine,
         **kwargs,
     )
     uav_ids = tuple(f"uav{i + 1}" for i in range(n_uavs))
+    spacing = (
+        150.0
+        if n_uavs <= 3
+        else max(1.0, (area_size_m[0] - 60.0) / (n_uavs - 1))
+    )
     for i, (uav_id, uav_rng) in enumerate(
         zip(uav_ids, uav_rng_streams(seed, n_uavs))
     ):
-        base = (30.0 + 150.0 * i, -20.0, 0.0)
+        base = (30.0 + spacing * i, -20.0, 0.0)
         uav = Uav(
             spec=UavSpec(uav_id=uav_id, base_position=base),
             frame=world.frame,

@@ -56,10 +56,13 @@ class Fig4Result:
 
 
 def run_fig4_platform_demo(
-    seed: int = 42, n_persons: int = 8, max_time_s: float = 1500.0
+    seed: int = 42,
+    n_persons: int = 8,
+    max_time_s: float = 1500.0,
+    engine: str = "scalar",
 ) -> Fig4Result:
     """Run the three-UAV platform demonstration to completion."""
-    scenario = build_three_uav_world(seed=seed, n_persons=n_persons)
+    scenario = build_three_uav_world(seed=seed, n_persons=n_persons, engine=engine)
     world = scenario.world
 
     manager = UavManager(bus=world.bus, database=DatabaseManager())

@@ -12,6 +12,7 @@ Schema (all sections optional except ``uavs``)::
       "seed": 7,
       "area_size_m": [400, 300],
       "dt": 0.5,
+      "engine": "scalar",  # or "vectorized" (bit-identical, batched)
       "environment": {"wind_mean_mps": 5, "wind_direction_deg": 270,
                        "ambient_c": 30, "visibility": "good"},
       "persons": 8,
@@ -60,7 +61,7 @@ from repro.uav.faults import (
     motor_failure,
 )
 from repro.uav.uav import Uav, UavSpec
-from repro.uav.world import World
+from repro.uav.world import ENGINES, World
 
 
 class ScenarioError(ValueError):
@@ -147,8 +148,13 @@ def _build_fault(spec: dict[str, Any], index: int):
     raise ScenarioError(f"{where}: unknown fault type {kind!r}")
 
 
-def load_scenario(config: dict[str, Any]) -> Scenario:
-    """Build a runnable scenario from a configuration dict."""
+def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario:
+    """Build a runnable scenario from a configuration dict.
+
+    ``engine`` overrides the config's own ``"engine"`` key (used by the
+    CLI ``--engine`` flag and the differential test suite); both default
+    to the scalar reference path.
+    """
     uav_specs = config.get("uavs")
     if not uav_specs:
         raise ScenarioError("scenario needs a non-empty 'uavs' list")
@@ -159,11 +165,18 @@ def load_scenario(config: dict[str, Any]) -> Scenario:
     dt = _number(config.get("dt", 0.5), "dt")
     if dt <= 0:
         raise ScenarioError(f"dt: must be positive, got {dt!r}")
+    if engine is None:
+        engine = config.get("engine", "scalar")
+    if engine not in ENGINES:
+        raise ScenarioError(
+            f"engine: expected one of {ENGINES}, got {engine!r}"
+        )
     world = World(
         frame=EnuFrame(origin=GeoPoint(35.1456, 33.4299, 0.0)),
         rng=rng,
         area_size_m=(area[0], area[1]),
         dt=dt,
+        engine=engine,
     )
 
     env_config = config.get("environment")
@@ -255,7 +268,7 @@ def load_scenario(config: dict[str, Any]) -> Scenario:
     return Scenario(world=world, faults=faults, config=dict(config))
 
 
-def load_scenario_json(text: str) -> Scenario:
+def load_scenario_json(text: str, engine: str | None = None) -> Scenario:
     """Load a scenario from a JSON document."""
     try:
         config = json.loads(text)
@@ -263,4 +276,4 @@ def load_scenario_json(text: str) -> Scenario:
         raise ScenarioError(f"invalid JSON: {exc}") from exc
     if not isinstance(config, dict):
         raise ScenarioError("scenario JSON must be an object")
-    return load_scenario(config)
+    return load_scenario(config, engine=engine)

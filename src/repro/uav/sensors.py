@@ -6,6 +6,16 @@ surface for the spoofing experiments (Fig. 6/7): an attacker can bias its
 output or deny it entirely, while quality indicators (satellite count,
 dilution of precision) degrade in ways the GPS-localization ConSert
 monitors.
+
+Noise-stream contract (load-bearing for :mod:`repro.uav.fleet`): every
+sensor draws from its *own* spawned generator and each draw is a
+fixed-width call of a single distribution — GPS noise is one
+``standard_normal(3)`` per measure, GPS quality one ``random(2)`` per
+measure, IMU one ``standard_normal(3)``, temperature and wind one scalar
+``standard_normal()`` each. Homogeneous per-channel streams are what lets
+the vectorized fleet engine prefetch noise in chunks while remaining
+bit-identical to this scalar reference (chunked draws from a numpy
+``Generator`` consume the bit stream exactly like sequential ones).
 """
 
 from __future__ import annotations
@@ -44,13 +54,23 @@ class GpsSensor:
 
     frame: EnuFrame
     rng: np.random.Generator
+    quality_rng: np.random.Generator = None  # type: ignore[assignment]
     noise_std_m: float = 0.35
     spoof_offset_m: tuple[float, float, float] = (0.0, 0.0, 0.0)
     denied: bool = False
     healthy: bool = True
 
+    def __post_init__(self) -> None:
+        if self.quality_rng is None:
+            self.quality_rng = self.rng.spawn(1)[0]
+
     def measure(self, true_enu: tuple[float, float, float], now: float) -> GpsFix:
-        """Produce a fix for the vehicle at ``true_enu`` metres."""
+        """Produce a fix for the vehicle at ``true_enu`` metres.
+
+        Stream contract: a valid measure consumes exactly one
+        ``standard_normal(3)`` from ``rng`` and one ``random(2)`` from
+        ``quality_rng``; a denied/unhealthy measure consumes nothing.
+        """
         if self.denied or not self.healthy:
             return GpsFix(
                 point=self.frame.to_geo(*true_enu),
@@ -59,17 +79,21 @@ class GpsSensor:
                 valid=False,
                 stamp=now,
             )
+        z = self.rng.standard_normal(3)
         noisy = tuple(
-            t + o + self.rng.normal(0.0, self.noise_std_m)
-            for t, o in zip(true_enu, self.spoof_offset_m)
+            (t + o) + self.noise_std_m * float(zi)
+            for t, o, zi in zip(true_enu, self.spoof_offset_m, z)
         )
         spoofed = any(abs(o) > 1e-9 for o in self.spoof_offset_m)
         # A spoofer replays consistent ephemeris, so quality indicators stay
         # plausible; mild degradation reflects the repeater geometry.
-        sats = int(self.rng.integers(7, 13)) if not spoofed else int(self.rng.integers(6, 9))
-        hdop = float(self.rng.uniform(0.7, 1.4)) if not spoofed else float(
-            self.rng.uniform(1.2, 2.2)
-        )
+        u = self.quality_rng.random(2)
+        if spoofed:
+            sats = 6 + int(float(u[0]) * 3.0)
+            hdop = 1.2 + 1.0 * float(u[1])
+        else:
+            sats = 7 + int(float(u[0]) * 6.0)
+            hdop = 0.7 + 0.7 * float(u[1])
         return GpsFix(
             point=self.frame.to_geo(*noisy),
             num_satellites=sats,
@@ -92,10 +116,17 @@ class ImuSensor:
     healthy: bool = True
 
     def measure(self, true_velocity: tuple[float, float, float]) -> tuple[float, float, float]:
-        """Return a noisy copy of the true velocity vector."""
+        """Return a noisy copy of the true velocity vector.
+
+        Stream contract: one ``standard_normal(3)`` per healthy measure,
+        nothing when unhealthy.
+        """
         if not self.healthy:
             return (0.0, 0.0, 0.0)
-        return tuple(v + self.rng.normal(0.0, self.noise_std_mps) for v in true_velocity)
+        z = self.rng.standard_normal(3)
+        return tuple(
+            v + self.noise_std_mps * float(zi) for v, zi in zip(true_velocity, z)
+        )
 
 
 @dataclass
@@ -129,8 +160,11 @@ class TemperatureSensor:
     noise_std_c: float = 0.5
 
     def measure(self, true_temp_c: float) -> float:
-        """Return a noisy temperature reading in Celsius."""
-        return true_temp_c + float(self.rng.normal(0.0, self.noise_std_c))
+        """Return a noisy temperature reading in Celsius.
+
+        Stream contract: exactly one scalar ``standard_normal()``.
+        """
+        return true_temp_c + self.noise_std_c * float(self.rng.standard_normal())
 
 
 @dataclass
@@ -141,8 +175,13 @@ class WindSensor:
     noise_std_mps: float = 0.4
 
     def measure(self, true_wind_mps: float) -> float:
-        """Return a noisy non-negative wind speed reading."""
-        return max(0.0, true_wind_mps + float(self.rng.normal(0.0, self.noise_std_mps)))
+        """Return a noisy non-negative wind speed reading.
+
+        Stream contract: exactly one scalar ``standard_normal()``.
+        """
+        return max(
+            0.0, true_wind_mps + self.noise_std_mps * float(self.rng.standard_normal())
+        )
 
 
 @dataclass
@@ -157,11 +196,18 @@ class SensorSuite:
 
     @classmethod
     def create(cls, frame: EnuFrame, rng: np.random.Generator) -> "SensorSuite":
-        """Build a nominal suite sharing one random generator."""
+        """Build a nominal suite with one spawned stream per noise channel.
+
+        Spawning (rather than sharing ``rng``) keeps every channel's draw
+        sequence independent of how often the other sensors sample — the
+        property the vectorized fleet engine relies on to prefetch each
+        channel in chunks. Spawning does not consume from ``rng`` itself.
+        """
+        gps_noise, gps_quality, imu_rng, temp_rng, wind_rng = rng.spawn(5)
         return cls(
-            gps=GpsSensor(frame=frame, rng=rng),
-            imu=ImuSensor(rng=rng),
+            gps=GpsSensor(frame=frame, rng=gps_noise, quality_rng=gps_quality),
+            imu=ImuSensor(rng=imu_rng),
             camera=Camera(rng=rng),
-            temperature=TemperatureSensor(rng=rng),
-            wind=WindSensor(rng=rng),
+            temperature=TemperatureSensor(rng=temp_rng),
+            wind=WindSensor(rng=wind_rng),
         )

@@ -16,8 +16,12 @@ from repro.geo import EnuFrame, GeoPoint
 from repro.obs import OBS
 from repro.middleware.attacks import Attacker
 from repro.uav.environment import Environment
+from repro.uav.fleet import FleetEngine
 from repro.middleware.rosbus import RosBus
 from repro.uav.uav import Uav
+
+ENGINES = ("scalar", "vectorized")
+"""Valid values for ``World.engine``."""
 
 
 @dataclass
@@ -51,10 +55,25 @@ class World:
     attackers: list[Attacker] = field(default_factory=list)
     time: float = 0.0
     dt: float = 0.5
+    # "scalar" steps each UAV in Python (the reference path); "vectorized"
+    # batches the fleet physics through repro.uav.fleet.FleetEngine, which
+    # is bit-identical to scalar (see tests/test_fleet_equivalence.py).
+    engine: str = "scalar"
+    _fleet: FleetEngine | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.engine == "vectorized":
+            self._fleet = FleetEngine(self)
 
     def add_uav(self, uav: Uav) -> Uav:
         """Register a UAV with the world."""
         self.uavs[uav.spec.uav_id] = uav
+        if self._fleet is not None:
+            self._fleet.adopt(uav)
         return uav
 
     def add_attacker(self, attacker: Attacker) -> Attacker:
@@ -74,11 +93,16 @@ class World:
 
     def step(self) -> float:
         """Advance the whole world by ``dt``; returns the new time."""
+        self.time += self.dt
+        self.bus.advance_clock(self.time)
+        if not self.uavs:
+            # Empty world: nothing flies, heats, or gets attacked. Advance
+            # the clocks only — campaign smoke grids legitimately build
+            # zero-UAV worlds and should not pay a full step (or obs span).
+            return self.time
         obs_on = OBS.enabled
         if obs_on:
             tick_start = _time.perf_counter()
-        self.time += self.dt
-        self.bus.advance_clock(self.time)
         for attacker in self.attackers:
             attacker.step(self.time)
         if self.environment is not None:
@@ -87,18 +111,23 @@ class World:
             wind = self.environment.current_wind_mps
         else:
             ambient, wind = self.ambient_c, self.wind_mps
-        for uav in self.uavs.values():
-            extra = (
-                self.environment.extra_power_draw_w(uav.battery.spec.cruise_draw_w)
-                if self.environment is not None
-                else 0.0
+        if self._fleet is not None:
+            self._fleet.step(
+                self.dt, self.time, ambient, wind, self.environment
             )
-            uav.step(
-                self.dt, self.time, ambient_c=ambient, wind_mps=wind,
-                extra_draw_w=extra,
-            )
-            if self.environment is not None:
-                self.environment.apply_wind_drift(uav.dynamics, self.dt)
+        else:
+            for uav in self.uavs.values():
+                extra = (
+                    self.environment.extra_power_draw_w(uav.battery.spec.cruise_draw_w)
+                    if self.environment is not None
+                    else 0.0
+                )
+                uav.step(
+                    self.dt, self.time, ambient_c=ambient, wind_mps=wind,
+                    extra_draw_w=extra,
+                )
+                if self.environment is not None:
+                    self.environment.apply_wind_drift(uav.dynamics, self.dt)
         if obs_on:
             OBS.metrics.inc("world_ticks_total")
             OBS.metrics.observe(

@@ -29,6 +29,50 @@ GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
 REL = 1e-6
 
 
+def collect_fleet_trace(engine: str = "vectorized") -> dict:
+    """A 10-UAV SAR coverage mission, pinned to the bit.
+
+    Floats are stored as ``float.hex()`` strings, so the comparison is
+    exact rather than tolerance-based: the vectorized fleet engine
+    promises bit-identical trajectories to the scalar reference, and this
+    section (generated vectorized, also checked against a scalar run)
+    holds it to that.
+    """
+    from repro.experiments.common import build_three_uav_world
+    from repro.sar.mission import SarMission
+
+    scenario = build_three_uav_world(
+        seed=21, n_persons=8, n_uavs=10, engine=engine
+    )
+    world = scenario.world
+    mission = SarMission(world=world)
+    mission.assign_paths()
+    metrics = mission.run(max_time_s=400.0)
+    return {
+        "positions": {
+            uav_id: [c.hex() for c in uav.dynamics.position]
+            for uav_id, uav in world.uavs.items()
+        },
+        "soc": {
+            uav_id: uav.battery.soc.hex() for uav_id, uav in world.uavs.items()
+        },
+        "temp_c": {
+            uav_id: uav.battery.temp_c.hex()
+            for uav_id, uav in world.uavs.items()
+        },
+        "modes": {uav_id: uav.mode.name for uav_id, uav in world.uavs.items()},
+        "detections": [
+            [p.person_id, p.detected_by, p.detected_at]
+            for p in world.persons
+            if p.detected
+        ],
+        "coverage_fraction": metrics.coverage_fraction,
+        "persons_found": metrics.persons_found,
+        "persons_total": metrics.persons_total,
+        "duration_s": metrics.duration_s,
+    }
+
+
 def collect_traces() -> dict:
     """Run every pinned experiment at its default seed; gather headlines."""
     from repro.experiments import (
@@ -83,6 +127,7 @@ def collect_traces() -> dict:
             )
             / len(mc.results),
         },
+        "fleet_10_vectorized": collect_fleet_trace("vectorized"),
     }
 
 
@@ -131,6 +176,23 @@ class TestGoldenTraces:
 
     def test_fig7_headlines_pinned(self, measured, golden):
         _assert_matches(measured["fig7"], golden["fig7"], "fig7")
+
+    def test_fleet_trace_pinned(self, measured, golden):
+        _assert_matches(
+            measured["fleet_10_vectorized"],
+            golden["fleet_10_vectorized"],
+            "fleet_10_vectorized",
+        )
+
+    def test_fleet_trace_reproduced_by_scalar_engine(self, golden):
+        # The pinned trace was generated by the vectorized engine; the
+        # scalar reference must reproduce it bit for bit (the hex-float
+        # encoding leaves no tolerance to hide behind).
+        _assert_matches(
+            collect_fleet_trace("scalar"),
+            golden["fleet_10_vectorized"],
+            "fleet_10_vectorized(scalar)",
+        )
 
     def test_monte_carlo_campaign_fingerprint_pinned(self, measured, golden):
         # The campaign fingerprint covers every sample's full result dict,
