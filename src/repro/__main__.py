@@ -16,6 +16,7 @@ Usage::
 
     python -m repro campaign list                      # sweep catalogue
     python -m repro campaign monte-carlo --workers 4   # sharded sweep
+    python -m repro campaign monte-carlo --resume      # finish a broken run
 
     python -m repro fig5 --trace fig5.jsonl            # capture an obs trace
     python -m repro obs summarize fig5.jsonl           # render it
@@ -159,7 +160,7 @@ def _run_single(name: str, args: argparse.Namespace) -> int:
 def _run_campaign_cli(args: argparse.Namespace) -> int:
     """``python -m repro campaign <experiment>``: a sharded, cached sweep."""
     from repro.experiments.campaigns import get_experiment, list_experiments
-    from repro.harness.campaign import run_campaign
+    from repro.harness.campaign import CampaignAborted, FaultPolicy, run_campaign
 
     if args.campaign_experiment == "list":
         for experiment in list_experiments():
@@ -170,23 +171,48 @@ def _run_campaign_cli(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    result = run_campaign(
-        experiment,
-        grid=args.grid,
-        root_seed=args.seed,
-        workers=args.workers,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        manifest_path=args.manifest,
-        observe=args.metrics is not None,
-        trace_path=args.trace,
+    policy = FaultPolicy(
+        timeout_s=args.timeout,
+        max_attempts=args.retries + 1,
+        backoff_s=args.backoff,
+        max_failures=args.max_failures,
     )
+    try:
+        result = run_campaign(
+            experiment,
+            grid=args.grid,
+            root_seed=args.seed,
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            manifest_path=args.manifest,
+            observe=args.metrics is not None,
+            trace_path=args.trace,
+            policy=policy,
+            resume=args.resume,
+        )
+    except CampaignAborted as exc:
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        print(
+            "fix the experiment, then rerun with --resume to finish the grid",
+            file=sys.stderr,
+        )
+        return 3
+    except KeyboardInterrupt:
+        print(
+            "\ncampaign interrupted — completed samples are checkpointed; "
+            "rerun to pick up where it left off (--resume also retries "
+            "quarantined failures)",
+            file=sys.stderr,
+        )
+        return 130
     totals = result.manifest["totals"]
     print(
         f"campaign {result.experiment} grid={result.grid} "
         f"root_seed={result.root_seed} workers={result.workers}"
     )
     print(
-        f"samples: {totals['samples']} ({totals['cached']} cached)  "
+        f"samples: {totals['samples']} ({totals['cached']} cached, "
+        f"{totals['failed']} failed)  "
         f"wall: {totals['wall_s']:.2f} s  fingerprint: {result.fingerprint}"
     )
     if result.manifest_path is not None:
@@ -197,6 +223,21 @@ def _run_campaign_cli(args: argparse.Namespace) -> int:
         _write_metrics_dump(args.metrics, result.manifest.get("metrics"))
     if experiment.summarize is not None:
         print(experiment.summarize(result))
+    if totals["failed"]:
+        for record in result.failed_records:
+            error = record.error or {}
+            print(
+                f"sample {record.index} failed after {record.attempts} "
+                f"attempt(s): [{error.get('kind', '?')}] "
+                f"{error.get('message', '')}",
+                file=sys.stderr,
+            )
+        print(
+            f"{totals['failed']} sample(s) quarantined; "
+            "rerun with --resume after fixing the experiment",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -256,6 +297,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     campaign.add_argument(
         "--manifest", default=None, help="write the run manifest JSON here"
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="re-run only failed or missing grid points against the cache",
+    )
+    campaign.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-sample wall-clock timeout in seconds (terminates the worker)",
+    )
+    campaign.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry each failing sample up to N extra times (same seed)",
+    )
+    campaign.add_argument(
+        "--backoff", type=float, default=0.5, metavar="S",
+        help="base delay between retries; attempt k waits S*k (default 0.5)",
+    )
+    campaign.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="abort once more than N samples are quarantined this run",
     )
     campaign.add_argument(
         "--trace", default=None, metavar="PATH",

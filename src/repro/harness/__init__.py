@@ -14,15 +14,23 @@ regardless of worker count or scheduling order:
 - each run emits a JSON manifest recording per-sample seed, config,
   wall time, worker id and phase timings (:mod:`repro.harness.manifest`),
   so any single sample can be reproduced in isolation and the manifest
-  doubles as a coarse profile.
+  doubles as a coarse profile;
+- execution is fault-tolerant: records are checkpointed into the cache
+  as they complete, a :class:`~repro.harness.campaign.FaultPolicy`
+  bounds samples with timeouts and retries, failed samples are
+  quarantined as ``status: "failed"`` manifest records instead of
+  killing their siblings, and ``resume=True`` re-runs only failed or
+  missing grid points.
 
 Entry points: :func:`repro.harness.campaign.run_campaign` and the
 ``python -m repro campaign <experiment>`` CLI.
 """
 
 from repro.harness.campaign import (
+    CampaignAborted,
     CampaignExperiment,
     CampaignResult,
+    FaultPolicy,
     SampleRecord,
     get_experiment,
     list_experiments,
@@ -39,8 +47,10 @@ from repro.harness.seeding import spawn_sample_seeds
 from repro.harness.timing import PhaseTimer
 
 __all__ = [
+    "CampaignAborted",
     "CampaignExperiment",
     "CampaignResult",
+    "FaultPolicy",
     "MANIFEST_SCHEMA_VERSION",
     "PhaseTimer",
     "ResultCache",

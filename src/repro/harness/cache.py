@@ -12,9 +12,12 @@ Layout::
 
     <cache_dir>/<experiment>/<key>.json   # one completed sample
 
-Each file holds the full sample record (config, seed, result, timings),
-so a cache hit restores the manifest entry verbatim except for the
-``cached`` flag.
+Each file holds the full sample record (config, seed, result, status,
+timings), so a cache hit restores the manifest entry verbatim except for
+the ``cached`` flag. Files that fail to parse or that miss a required
+record field (foreign files, partial writes, records from an older
+schema) are evicted and treated as misses — with an obs counter/event so
+silent re-runs are visible — rather than crashing the campaign.
 """
 
 from __future__ import annotations
@@ -28,9 +31,33 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.obs import OBS, event
+
 # Bump to invalidate every experiment's cache at once (harness semantics
 # change, e.g. a different seed-derivation scheme).
 HARNESS_CACHE_VERSION = "1"
+
+#: Fields every usable cached sample record must carry. Records written
+#: before a field became required (older schema) are treated as misses.
+RECORD_REQUIRED_FIELDS = (
+    "index",
+    "seed",
+    "config",
+    "result",
+    "status",
+    "attempts",
+    "wall_time_s",
+    "worker",
+    "cached",
+    "timings",
+)
+
+
+def is_complete_record(record: Any) -> bool:
+    """Whether ``record`` carries every required sample-record field."""
+    return isinstance(record, dict) and all(
+        name in record for name in RECORD_REQUIRED_FIELDS
+    )
 
 
 def canonical_json(obj: Any) -> str:
@@ -81,14 +108,41 @@ class ResultCache:
     def _path(self, experiment: str, key: str) -> Path:
         return self.root / experiment / f"{key}.json"
 
+    def _evict(self, path: Path, experiment: str, reason: str) -> None:
+        """Drop an unusable cache file; make the silent re-run visible."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if OBS.enabled:
+            OBS.metrics.inc(
+                "cache_evictions_total", experiment=experiment, reason=reason
+            )
+        event(
+            "warning", "harness.cache", "cache_evicted",
+            experiment=experiment, reason=reason, entry=path.name,
+        )
+
     def get(self, experiment: str, key: str) -> dict | None:
-        """The cached record for ``key``, or None on miss/corruption."""
+        """The cached record for ``key``, or None on miss.
+
+        Corrupt files and records missing a required field (written by an
+        older schema, or not sample records at all) are evicted and
+        reported as misses instead of crashing the campaign.
+        """
         path = self._path(experiment, key)
         try:
             with open(path, encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, json.JSONDecodeError):
+                record = json.load(handle)
+        except FileNotFoundError:
             return None
+        except (OSError, json.JSONDecodeError):
+            self._evict(path, experiment, "corrupt")
+            return None
+        if not is_complete_record(record):
+            self._evict(path, experiment, "schema")
+            return None
+        return record
 
     def put(self, experiment: str, key: str, record: dict) -> None:
         """Atomically persist ``record`` (write-to-temp + rename)."""
@@ -107,8 +161,23 @@ class ResultCache:
             raise
 
     def count(self, experiment: str) -> int:
-        """Number of cached samples for ``experiment``."""
-        directory = self._path(experiment, "x").parent
+        """Number of valid cached sample records for ``experiment``.
+
+        Foreign, partial, or schema-incomplete ``*.json`` files in the
+        experiment directory are not counted (and left untouched).
+        """
+        directory = self.root / experiment
         if not directory.is_dir():
             return 0
-        return sum(1 for p in directory.iterdir() if p.suffix == ".json")
+        valid = 0
+        for path in directory.iterdir():
+            if path.suffix != ".json":
+                continue
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if is_complete_record(record):
+                valid += 1
+        return valid

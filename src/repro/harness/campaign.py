@@ -8,12 +8,25 @@ are re-assembled by grid index — so ``workers=1`` and ``workers=16``
 produce byte-identical deterministic manifests (see
 :func:`repro.harness.manifest.manifest_fingerprint`). The on-disk cache
 and worker pool only change *when* a sample's record materializes, never
-*what* it contains.
+*what* it contains. Retries re-run a sample with its original spawned
+seed, so a campaign that survived transient failures fingerprints
+identically to one that never failed.
+
+Fault tolerance: every finished record is checkpointed into the
+:class:`~repro.harness.cache.ResultCache` the moment it completes, so an
+interrupted campaign loses at most the in-flight samples. A
+:class:`FaultPolicy` bounds each sample with a wall-clock timeout and
+retries with linear backoff; samples that still fail are quarantined as
+structured ``status: "failed"`` records in the manifest instead of an
+exception killing their siblings. ``run_campaign(..., resume=True)``
+re-runs only failed or missing grid points against the existing cache,
+and ``FaultPolicy.max_failures`` aborts early (:class:`CampaignAborted`)
+when the whole grid is broken.
 
 Experiments register a :class:`CampaignExperiment` (usually at module
-import, see :mod:`repro.experiments.campaigns`); pool workers re-import
-the defining module by name, so registration must be an import side
-effect of that module.
+import, see :mod:`repro.experiments.campaigns`); supervised workers
+re-import the defining module by name, so registration must be an import
+side effect of that module.
 """
 
 from __future__ import annotations
@@ -21,8 +34,9 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import time
+import traceback
 from contextlib import ExitStack
-from dataclasses import dataclass
+from dataclasses import MISSING, dataclass, field
 from pathlib import Path
 from typing import Callable
 
@@ -38,6 +52,58 @@ from repro.harness.timing import PhaseTimer
 
 #: Sample functions take (config, seed, timer) and return a JSON-able dict.
 SampleFn = Callable[[dict, int, PhaseTimer], dict]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-sample fault handling for a campaign run.
+
+    ``timeout_s``
+        Wall-clock budget for one attempt; a sample still running past it
+        is terminated (supervised execution only — setting a timeout
+        forces supervised child processes even at ``workers=1``).
+    ``max_attempts``
+        Total attempts per sample (1 = no retries). Every attempt re-runs
+        with the sample's original spawned seed, so a retried success is
+        bit-identical to a first-try success.
+    ``backoff_s``
+        Base delay between attempts; attempt *k* waits ``backoff_s * k``.
+    ``max_failures``
+        Abort the campaign (:class:`CampaignAborted`) once more than this
+        many samples have been quarantined this run; ``None`` never
+        aborts. Completed samples stay checkpointed either way.
+    """
+
+    timeout_s: float | None = None
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    max_failures: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+
+
+#: Default policy: one attempt, no timeout, quarantine but never abort.
+NO_RETRY = FaultPolicy()
+
+
+class CampaignAborted(RuntimeError):
+    """Raised when quarantined failures exceed ``FaultPolicy.max_failures``."""
+
+    def __init__(self, experiment: str, failures: int, max_failures: int) -> None:
+        super().__init__(
+            f"campaign {experiment!r} aborted after {failures} quarantined "
+            f"sample failures (max_failures={max_failures}); completed "
+            f"samples remain checkpointed in the result cache"
+        )
+        self.experiment = experiment
+        self.failures = failures
+        self.max_failures = max_failures
 
 
 @dataclass(frozen=True)
@@ -71,11 +137,17 @@ class SampleRecord:
     index: int
     seed: int
     config: dict
-    result: dict
+    result: dict | None
     wall_time_s: float
     worker: str
     cached: bool
     timings: dict
+    #: ``"ok"`` or ``"failed"`` (quarantined after exhausting attempts).
+    status: str = "ok"
+    #: How many attempts this record took (retries count).
+    attempts: int = 1
+    #: Structured error (kind/type/message) for failed records only.
+    error: dict | None = None
     #: Per-sample obs metrics snapshot; only present on observed runs.
     metrics: dict | None = None
 
@@ -89,19 +161,29 @@ class SampleRecord:
             "worker": self.worker,
             "cached": self.cached,
             "timings": self.timings,
+            "status": self.status,
+            "attempts": self.attempts,
         }
+        if self.error is not None:
+            data["error"] = self.error
         if self.metrics is not None:
             data["metrics"] = self.metrics
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SampleRecord":
-        return cls(
-            **{
-                k: data.get(k) if k == "metrics" else data[k]
-                for k in cls.__dataclass_fields__
-            }
-        )
+        """Build from a manifest/cache dict; missing optional fields
+        (records written by an older schema) fall back to their defaults
+        instead of raising ``KeyError``."""
+        kwargs = {}
+        for name, spec in cls.__dataclass_fields__.items():
+            if name in data:
+                kwargs[name] = data[name]
+            elif spec.default is not MISSING:
+                kwargs[name] = spec.default
+            else:
+                raise KeyError(name)
+        return cls(**kwargs)
 
 
 @dataclass
@@ -118,8 +200,13 @@ class CampaignResult:
 
     @property
     def results(self) -> list[dict]:
-        """Per-sample result dicts, in grid order."""
+        """Per-sample result dicts, in grid order (None for failures)."""
         return [record.result for record in self.records]
+
+    @property
+    def failed_records(self) -> list[SampleRecord]:
+        """The quarantined samples, in grid order."""
+        return [record for record in self.records if record.status != "ok"]
 
     @property
     def fingerprint(self) -> str:
@@ -161,7 +248,7 @@ def _execute_sample(
     seed: int,
     observe: bool = False,
 ) -> dict:
-    """Run one grid point; returns its manifest record as a dict.
+    """Run one grid point (one attempt); returns its record as a dict.
 
     With ``observe`` the sample runs inside its own isolated obs session:
     the record gains a ``"metrics"`` snapshot (kept in the manifest and
@@ -188,6 +275,8 @@ def _execute_sample(
         "worker": multiprocessing.current_process().name,
         "cached": False,
         "timings": timer.as_dict(),
+        "status": "ok",
+        "attempts": 1,
     }
     if payload is not None:
         record["metrics"] = payload["metrics"]
@@ -195,11 +284,90 @@ def _execute_sample(
     return record
 
 
-def _pool_worker(task: tuple[str, str, int, dict, int, bool]) -> dict:
-    """Pool entry point: re-import the registering module, then run."""
-    module, name, index, config, seed, observe = task
-    importlib.import_module(module)
-    return _execute_sample(get_experiment(name), index, config, seed, observe)
+def _describe_error(exc: BaseException, kind: str) -> dict:
+    """Structured, JSON-able description of a sample failure."""
+    return {
+        "kind": kind,
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(limit=20),
+    }
+
+
+def _crash_error(process: multiprocessing.process.BaseProcess) -> dict:
+    return {
+        "kind": "crash",
+        "type": "WorkerCrash",
+        "message": (
+            f"worker {process.name} exited with code {process.exitcode} "
+            "before reporting a result"
+        ),
+    }
+
+
+def _timeout_error(timeout_s: float) -> dict:
+    return {
+        "kind": "timeout",
+        "type": "SampleTimeout",
+        "message": (
+            f"sample exceeded the per-attempt wall-clock timeout of "
+            f"{timeout_s} s and was terminated"
+        ),
+    }
+
+
+def _failure_record(
+    index: int, config: dict, seed: int, error: dict,
+    attempts: int, wall_s: float, worker: str,
+) -> dict:
+    """The quarantined manifest entry for a sample that exhausted retries."""
+    return {
+        "index": index,
+        "seed": seed,
+        "config": config,
+        "result": None,
+        "wall_time_s": round(wall_s, 6),
+        "worker": worker,
+        "cached": False,
+        "timings": {},
+        "status": "failed",
+        "attempts": attempts,
+        "error": error,
+    }
+
+
+def _note_retry(experiment: str, index: int, attempt: int, error: dict) -> None:
+    if obs.OBS.enabled:
+        obs.OBS.metrics.inc(
+            "campaign_retries_total",
+            experiment=experiment, kind=error.get("kind", "unknown"),
+        )
+    obs.event(
+        "warning", "harness.campaign", "sample_retry",
+        index=index, attempt=attempt, kind=error.get("kind"),
+    )
+
+
+def _child_entry(
+    conn, module: str, name: str,
+    index: int, config: dict, seed: int, observe: bool,
+) -> None:
+    """Supervised child: run one attempt, report through the pipe.
+
+    Sends ``("ok", record)`` or ``("error", error_dict)``; a child that
+    dies without sending anything is detected by the parent as a crash.
+    """
+    try:
+        importlib.import_module(module)
+        record = _execute_sample(get_experiment(name), index, config, seed, observe)
+        conn.send(("ok", record))
+    except BaseException as exc:
+        try:
+            conn.send(("error", _describe_error(exc, "exception")))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -208,6 +376,175 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     # reach the workers; spawn is the portable fallback.
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class _Attempt:
+    """One supervised in-flight attempt (child process + result pipe)."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    index: int
+    config: dict
+    seed: int
+    attempt: int
+    started: float = field(default_factory=time.monotonic)
+
+
+def _reap(slot: _Attempt) -> tuple[str, dict] | None:
+    """Drain a finished/late result from a slot's pipe, if any."""
+    if not slot.conn.poll():
+        return None
+    try:
+        kind, payload = slot.conn.recv()
+    except (EOFError, OSError):
+        return None
+    return (kind, payload)
+
+
+def _poll_attempt(slot: _Attempt, policy: FaultPolicy) -> tuple[str, dict] | None:
+    """One scheduler look at an in-flight attempt.
+
+    Returns ``None`` while still running, else ``("ok", record)`` or
+    ``("error", error_dict)`` — covering the three failure paths: an
+    exception reported by the child, a hard crash (child died without
+    reporting), and a wall-clock timeout (child terminated by us).
+    """
+    outcome = _reap(slot)
+    if outcome is not None:
+        slot.process.join()
+        return outcome
+    if not slot.process.is_alive():
+        slot.process.join()
+        # The result may have landed between the poll and the liveness
+        # check — prefer it over declaring a crash.
+        return _reap(slot) or ("error", _crash_error(slot.process))
+    if (
+        policy.timeout_s is not None
+        and time.monotonic() - slot.started > policy.timeout_s
+    ):
+        slot.process.terminate()
+        slot.process.join()
+        return _reap(slot) or ("error", _timeout_error(policy.timeout_s))
+    return None
+
+
+def _run_supervised(
+    experiment: CampaignExperiment,
+    pending: list[tuple[int, dict, int, str]],
+    observe: bool,
+    policy: FaultPolicy,
+    workers: int,
+    checkpoint: Callable[[dict], None],
+    quarantine: Callable[[dict], None],
+) -> None:
+    """Fan pending samples over supervised child processes.
+
+    One child per attempt (with a result pipe), at most ``workers`` alive
+    at once. All fault policy lives in this parent loop: exceptions come
+    back through the pipe, hard crashes are children that died silently,
+    timeouts are terminated, and retries are re-dispatched with the
+    sample's original seed after backoff. Finished records stream into
+    ``checkpoint`` the moment they arrive.
+    """
+    ctx = _pool_context()
+    ready = [(index, config, seed, 1) for index, config, seed, _ in pending]
+    ready.reverse()  # pop() from the tail dispatches in grid order
+    delayed: list[tuple[float, tuple[int, dict, int, int]]] = []
+    running: list[_Attempt] = []
+    try:
+        while ready or delayed or running:
+            now = time.monotonic()
+            if delayed:
+                due = [item for at, item in delayed if at <= now]
+                delayed = [(at, item) for at, item in delayed if at > now]
+                ready.extend(reversed(due))
+            while ready and len(running) < workers:
+                index, config, seed, attempt = ready.pop()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_child_entry,
+                    args=(child_conn, experiment.module, experiment.name,
+                          index, config, seed, observe),
+                )
+                process.start()
+                child_conn.close()
+                running.append(
+                    _Attempt(process, parent_conn, index, config, seed, attempt)
+                )
+            progressed = False
+            for slot in list(running):
+                outcome = _poll_attempt(slot, policy)
+                if outcome is None:
+                    continue
+                progressed = True
+                running.remove(slot)
+                slot.conn.close()
+                kind, payload = outcome
+                if kind == "ok":
+                    payload["attempts"] = slot.attempt
+                    checkpoint(payload)
+                elif slot.attempt < policy.max_attempts:
+                    _note_retry(experiment.name, slot.index, slot.attempt, payload)
+                    retry_at = time.monotonic() + policy.backoff_s * slot.attempt
+                    delayed.append(
+                        (retry_at,
+                         (slot.index, slot.config, slot.seed, slot.attempt + 1))
+                    )
+                else:
+                    quarantine(_failure_record(
+                        slot.index, slot.config, slot.seed, payload,
+                        slot.attempt, time.monotonic() - slot.started,
+                        slot.process.name,
+                    ))
+            if not progressed:
+                time.sleep(0.005)
+    finally:
+        for slot in running:
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join()
+            slot.conn.close()
+
+
+def _run_inline(
+    experiment: CampaignExperiment,
+    pending: list[tuple[int, dict, int, str]],
+    observe: bool,
+    policy: FaultPolicy,
+    checkpoint: Callable[[dict], None],
+    quarantine: Callable[[dict], None],
+) -> None:
+    """Serial in-process execution with the same retry/quarantine policy.
+
+    Exceptions are quarantined exactly like the supervised path (so
+    serial and parallel failure handling agree); wall-clock timeouts and
+    hard-crash containment need child processes, which is why a policy
+    with ``timeout_s`` set always routes to :func:`_run_supervised`.
+    """
+    for index, config, seed, _ in pending:
+        attempt = 1
+        while True:
+            start = time.perf_counter()
+            try:
+                record = _execute_sample(experiment, index, config, seed, observe)
+            except Exception as exc:
+                error = _describe_error(exc, "exception")
+                if attempt < policy.max_attempts:
+                    _note_retry(experiment.name, index, attempt, error)
+                    if policy.backoff_s > 0.0:
+                        time.sleep(policy.backoff_s * attempt)
+                    attempt += 1
+                    continue
+                quarantine(_failure_record(
+                    index, config, seed, error, attempt,
+                    time.perf_counter() - start,
+                    multiprocessing.current_process().name,
+                ))
+                break
+            record["attempts"] = attempt
+            checkpoint(record)
+            break
 
 
 def run_campaign(
@@ -219,14 +556,26 @@ def run_campaign(
     manifest_path: str | Path | None = None,
     observe: bool = False,
     trace_path: str | Path | None = None,
+    policy: FaultPolicy | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run every grid point of ``experiment``; return records + manifest.
 
     ``grid`` is a preset name resolved via the experiment's ``grids``
     hook, or an explicit list of config dicts (recorded as ``"custom"``).
     ``workers=1`` runs inline in this process; ``workers>1`` shards the
-    non-cached points over a multiprocessing pool. Results are identical
-    either way. ``cache_dir=None`` disables the on-disk cache.
+    non-cached points over supervised worker processes. Results are
+    identical either way. ``cache_dir=None`` disables the on-disk cache.
+
+    Fault tolerance: each finished sample is checkpointed into the cache
+    immediately (an interrupted campaign keeps all completed work), and
+    ``policy`` (a :class:`FaultPolicy`) bounds each sample with a timeout
+    and bounded retries; samples that still fail land in the manifest as
+    ``status: "failed"`` records with a structured ``error`` instead of
+    killing their siblings. ``resume=True`` treats cached failed records
+    as misses, re-running only failed or missing grid points. A campaign
+    whose quarantined failures exceed ``policy.max_failures`` raises
+    :class:`CampaignAborted` (completed samples stay cached).
 
     ``observe`` (implied by ``trace_path``) runs every sample inside its
     own obs session: samples carry a ``"metrics"`` snapshot, the manifest
@@ -234,14 +583,15 @@ def run_campaign(
     when ``trace_path`` is given — a JSONL trace is written combining
     campaign-level phase spans with each sample's spans and events
     (labelled ``sample=<index>``). The deterministic fingerprint covers
-    only (index, seed, config, result), so observed and unobserved runs
-    of the same campaign fingerprint identically.
+    only (index, seed, config, result, status), so observed and
+    unobserved runs of the same campaign fingerprint identically.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if isinstance(experiment, str):
         experiment = get_experiment(experiment)
     observe = observe or trace_path is not None
+    policy = NO_RETRY if policy is None else policy
 
     campaign_payload = None
     sample_obs: dict[int, dict] = {}
@@ -263,6 +613,8 @@ def run_campaign(
             for index, (config, seed) in enumerate(zip(configs, seeds)):
                 key = sample_key(experiment.name, config, seed, code)
                 hit = cache.get(experiment.name, key) if cache is not None else None
+                if hit is not None and resume and hit.get("status") != "ok":
+                    hit = None  # resume: quarantined points run again
                 if hit is not None:
                     hit = dict(hit)
                     hit["cached"] = True
@@ -274,32 +626,62 @@ def run_campaign(
                 else:
                     pending.append((index, config, seed, key))
 
+        keys = {index: key for index, _, _, key in pending}
+
+        def checkpoint(record: dict) -> None:
+            """Stream one finished record into memory and the cache."""
+            blob = record.pop("obs", None)
+            if blob is not None:
+                sample_obs[record["index"]] = blob
+            records[record["index"]] = record
+            if cache is not None:
+                cache.put(experiment.name, keys[record["index"]], record)
+
+        fresh_failures = 0
+
+        def quarantine(record: dict) -> None:
+            nonlocal fresh_failures
+            fresh_failures += 1
+            error = record.get("error") or {}
+            if obs.OBS.enabled:
+                obs.OBS.metrics.inc(
+                    "campaign_failures_total",
+                    experiment=experiment.name,
+                    kind=error.get("kind", "unknown"),
+                )
+            obs.event(
+                "error", "harness.campaign", "sample_failed",
+                index=record["index"], attempts=record["attempts"],
+                kind=error.get("kind"),
+            )
+            checkpoint(record)
+            if (
+                policy.max_failures is not None
+                and fresh_failures > policy.max_failures
+            ):
+                raise CampaignAborted(
+                    experiment.name, fresh_failures, policy.max_failures
+                )
+
         start = time.perf_counter()
         with campaign_timer.phase("execute"):
-            if workers == 1 or len(pending) <= 1:
-                fresh = [
-                    _execute_sample(experiment, index, config, seed, observe)
-                    for index, config, seed, _ in pending
-                ]
-            else:
-                tasks = [
-                    (experiment.module, experiment.name, index, config, seed, observe)
-                    for index, config, seed, _ in pending
-                ]
-                with _pool_context().Pool(processes=min(workers, len(tasks))) as pool:
-                    fresh = list(pool.imap_unordered(_pool_worker, tasks, chunksize=1))
+            supervised = policy.timeout_s is not None or (
+                workers > 1 and len(pending) > 1
+            )
+            if pending and supervised:
+                _run_supervised(
+                    experiment, pending, observe, policy,
+                    min(workers, len(pending)), checkpoint, quarantine,
+                )
+            elif pending:
+                _run_inline(
+                    experiment, pending, observe, policy, checkpoint, quarantine
+                )
         wall_s = time.perf_counter() - start
 
         with campaign_timer.phase("finalize"):
-            keys = {index: key for index, _, _, key in pending}
-            for record in fresh:
-                blob = record.pop("obs", None)
-                if blob is not None:
-                    sample_obs[record["index"]] = blob
-                records[record["index"]] = record
-                if cache is not None:
-                    cache.put(experiment.name, keys[record["index"]], record)
             ordered = [records[index] for index in range(len(configs))]
+            failed = sum(1 for r in ordered if r.get("status") != "ok")
         manifest = {
             "schema_version": MANIFEST_SCHEMA_VERSION,
             "experiment": experiment.name,
@@ -310,6 +692,7 @@ def run_campaign(
             "totals": {
                 "samples": len(ordered),
                 "cached": sum(1 for r in ordered if r["cached"]),
+                "failed": failed,
                 "wall_s": round(wall_s, 6),
             },
             "campaign_timings": campaign_timer.as_dict(),
@@ -355,9 +738,16 @@ def _write_campaign_trace(
 
     Campaign-level spans are labelled ``scope=campaign``; each sample's
     spans/events gain a ``sample=<index>`` label, which the Chrome-trace
-    exporter maps to one lane per sample.
+    exporter maps to one lane per sample. The trace's metrics snapshot
+    folds the runner's own counters (retries, quarantines) into the
+    merged per-sample metrics.
     """
-    payload = {"spans": [], "events": [], "metrics": merged_metrics}
+    metrics = merged_metrics
+    if campaign_payload is not None:
+        metrics = obs.merge_snapshots(
+            snap for snap in (merged_metrics, campaign_payload["metrics"]) if snap
+        )
+    payload = {"spans": [], "events": [], "metrics": metrics}
     if campaign_payload is not None:
         for span in campaign_payload["spans"]:
             span["labels"] = {**span.get("labels", {}), "scope": "campaign"}

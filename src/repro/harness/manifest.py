@@ -6,28 +6,36 @@ reproduce a campaign:
 .. code-block:: text
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "experiment":  "monte-carlo",
       "grid":        "smoke",
       "root_seed":   17,
       "workers":     4,
       "code":        "<fingerprint>",
-      "totals":      {"samples": N, "cached": C, "wall_s": ...},
+      "totals":      {"samples": N, "cached": C, "failed": F, "wall_s": ...},
       "campaign_timings": {"grid": {...}, "execute": {...}, ...},
       "samples": [
         {"index": 0, "seed": ..., "config": {...}, "result": {...},
+         "status": "ok", "attempts": 1,
          "wall_time_s": ..., "worker": "...", "cached": false,
          "timings": {"simulate": {"calls": 1, "total_s": ...}}},
         ...
       ]
     }
 
-``index``, ``seed``, ``config`` and ``result`` are deterministic —
-identical for the same (experiment, grid, root seed) at any worker
-count. ``wall_time_s``, ``worker``, ``cached`` and the timing counters
-are provenance, not results; :func:`manifest_fingerprint` hashes only
-the deterministic subset, which is what the serial-vs-parallel
-equivalence guarantee (and its regression test) is stated over.
+Schema version 2 added per-sample fault-tolerance fields: ``status``
+(``"ok"`` or ``"failed"``), ``attempts`` (retries count), an ``error``
+object on quarantined samples (``kind``/``type``/``message``), and the
+``failed`` total.
+
+``index``, ``seed``, ``config``, ``result`` and ``status`` are
+deterministic — identical for the same (experiment, grid, root seed) at
+any worker count, with retries re-running on the sample's original seed.
+``wall_time_s``, ``worker``, ``cached``, ``attempts``, ``error`` and the
+timing counters are provenance, not results;
+:func:`manifest_fingerprint` hashes only the deterministic subset, which
+is what the serial-vs-parallel equivalence guarantee (and its regression
+test) is stated over.
 """
 
 from __future__ import annotations
@@ -37,21 +45,29 @@ from pathlib import Path
 
 from repro.harness.cache import stable_hash
 
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Per-sample fields that identify the *result*, not the run that made it.
-DETERMINISTIC_SAMPLE_FIELDS = ("index", "seed", "config", "result")
+DETERMINISTIC_SAMPLE_FIELDS = ("index", "seed", "config", "result", "status")
 
 
 def deterministic_view(manifest: dict) -> dict:
-    """The scheduling-independent subset of a manifest."""
+    """The scheduling-independent subset of a manifest.
+
+    Tolerates schema-1 manifests (no per-sample ``status``) by treating
+    every sample as ``"ok"``.
+    """
     return {
         "schema_version": manifest["schema_version"],
         "experiment": manifest["experiment"],
         "grid": manifest["grid"],
         "root_seed": manifest["root_seed"],
         "samples": [
-            {field: sample[field] for field in DETERMINISTIC_SAMPLE_FIELDS}
+            {
+                field: sample.get("status", "ok") if field == "status"
+                else sample[field]
+                for field in DETERMINISTIC_SAMPLE_FIELDS
+            }
             for sample in manifest["samples"]
         ],
     }
@@ -62,7 +78,7 @@ def manifest_fingerprint(manifest: dict) -> str:
 
     Two campaigns agree on this fingerprint iff they produced identical
     results sample-for-sample — regardless of worker count, scheduling
-    order, cache hits, or how long anything took.
+    order, cache hits, retries, or how long anything took.
     """
     return stable_hash(deterministic_view(manifest))
 

@@ -138,8 +138,16 @@ class IntrusionDetectionSystem:
         window = self._recent[message.topic]
         window.append(message.stamp)
         cutoff = now - self.rate_window_s
-        self._recent[message.topic] = [t for t in window if t >= cutoff]
-        observed_hz = len(self._recent[message.topic]) / self.rate_window_s
+        kept = [t for t in window if t >= cutoff]
+        self._recent[message.topic] = kept
+        # Normalize by the span the kept samples actually cover, not the
+        # nominal window: before a stream has been up for a full window,
+        # dividing by rate_window_s underestimates the rate and lets a
+        # flood in the first seconds go undetected. The floor keeps a
+        # near-instantaneous burst from reading as an unbounded rate.
+        span = now - kept[0] if kept else self.rate_window_s
+        span = min(max(span, 0.25 * self.rate_window_s), self.rate_window_s)
+        observed_hz = len(kept) / span
         if observed_hz > limit:
             return [
                 Alert(

@@ -9,7 +9,7 @@ import pytest
 import repro.harness.synthetic  # noqa: F401  (registers "synthetic")
 from repro.experiments.common import build_three_uav_world, uav_rng_streams
 from repro.harness.cache import ResultCache, code_fingerprint, sample_key, stable_hash
-from repro.harness.campaign import get_experiment, run_campaign
+from repro.harness.campaign import SampleRecord, get_experiment, run_campaign
 from repro.harness.manifest import (
     deterministic_view,
     manifest_fingerprint,
@@ -18,6 +18,16 @@ from repro.harness.manifest import (
 from repro.harness.seeding import sample_seed, spawn_sample_seeds
 from repro.harness.synthetic import synthetic_sample
 from repro.harness.timing import PhaseTimer
+
+
+def full_record(index: int = 0, result: dict | None = None, **extra) -> dict:
+    """A schema-complete sample record for cache tests."""
+    return {
+        "index": index, "seed": 100 + index, "config": {"i": index},
+        "result": {"v": float(index)} if result is None else result,
+        "wall_time_s": 0.01, "worker": "test", "cached": False,
+        "timings": {}, "status": "ok", "attempts": 1, **extra,
+    }
 
 
 class TestSeeding:
@@ -60,12 +70,35 @@ class TestCacheKeys:
 
     def test_cache_round_trip_and_corruption_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
-        record = {"index": 0, "result": {"v": 1.5}}
+        record = full_record(index=0, result={"v": 1.5})
         cache.put("exp", "k1", record)
         assert cache.get("exp", "k1") == record
         assert cache.count("exp") == 1
         (tmp_path / "exp" / "k1.json").write_text("{broken")
         assert cache.get("exp", "k1") is None
+        # Corrupt entries are evicted, not left to shadow future puts.
+        assert not (tmp_path / "exp" / "k1.json").exists()
+
+    def test_old_schema_record_is_a_miss_and_evicted(self, tmp_path):
+        # A record written before `status`/`attempts` became required
+        # must read as a miss (and get evicted), not crash the campaign.
+        cache = ResultCache(tmp_path)
+        v1_record = {
+            "index": 0, "seed": 1, "config": {}, "result": {"v": 1.0},
+            "wall_time_s": 0.1, "worker": "w", "cached": False, "timings": {},
+        }
+        cache.put("exp", "k1", v1_record)
+        assert cache.get("exp", "k1") is None
+        assert not (tmp_path / "exp" / "k1.json").exists()
+
+    def test_count_ignores_foreign_and_partial_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", "k1", full_record(index=0))
+        cache.put("exp", "k2", full_record(index=1))
+        (tmp_path / "exp" / "notes.json").write_text('{"not": "a record"}')
+        (tmp_path / "exp" / "partial.json").write_text('{"index": 3, "seed"')
+        (tmp_path / "exp" / "stray.txt").write_text("ignored")
+        assert cache.count("exp") == 2
 
 
 class TestPhaseTimer:
@@ -117,11 +150,13 @@ class TestRunCampaign:
             "synthetic", grid="smoke", root_seed=4, manifest_path=path
         )
         on_disk = read_manifest(path)
-        assert on_disk["schema_version"] == 1
+        assert on_disk["schema_version"] == 2
         assert manifest_fingerprint(on_disk) == result.fingerprint
         sample = on_disk["samples"][0]
         assert {"index", "seed", "config", "result", "wall_time_s", "worker",
-                "cached", "timings"} <= set(sample)
+                "cached", "timings", "status", "attempts"} <= set(sample)
+        assert sample["status"] == "ok" and sample["attempts"] == 1
+        assert on_disk["totals"]["failed"] == 0
 
     def test_single_sample_reproducible_from_manifest_entry(self, tmp_path):
         # The audit contract: re-running one sample from its manifest
@@ -147,6 +182,21 @@ class TestRunCampaign:
     def test_manifest_is_json_serializable(self):
         result = run_campaign("synthetic", grid="smoke", root_seed=0)
         json.dumps(result.manifest)
+
+    def test_sample_record_from_dict_tolerates_older_schema(self):
+        # Manifest entries from before status/attempts existed still load
+        # (they fall back to the field defaults) — only truly core fields
+        # are allowed to raise.
+        v1_entry = {
+            "index": 2, "seed": 7, "config": {"n": 4}, "result": {"v": 1.0},
+            "wall_time_s": 0.5, "worker": "w", "cached": False, "timings": {},
+        }
+        record = SampleRecord.from_dict(v1_entry)
+        assert record.status == "ok"
+        assert record.attempts == 1
+        assert record.error is None and record.metrics is None
+        with pytest.raises(KeyError):
+            SampleRecord.from_dict({"index": 0})
 
 
 class TestPerUavSeeding:

@@ -208,6 +208,29 @@ class TestIds:
             bus.publish("/uav1/pose", i, sender="uav1")
         assert ids.scan(4.0) == []
 
+    def test_flood_during_warmup_is_detected(self):
+        # Regression: a flood inside the first seconds of a stream used
+        # to be averaged over the full rate window (2 s) before the
+        # window had spanned that long, underestimating the rate — a
+        # 20 Hz burst read as 4 Hz and sailed under a 10 Hz limit.
+        bus, _, ids = make_ids()
+        ids.set_rate_limit("/uav1/pose", max_hz=10.0)
+        for i in range(8):
+            bus.advance_clock(i * 0.05)  # 8 messages in 0.35 s
+            bus.publish("/uav1/pose", i, sender="uav1")
+        alerts = ids.scan(0.4)
+        assert any(a.alert_type == "rate_anomaly" for a in alerts)
+
+    def test_warmup_normalization_has_floor_and_no_false_positive(self):
+        # Sparse early traffic must not trip the limit: two messages
+        # 50 ms apart normalized by the floored span stay under 5 Hz.
+        bus, _, ids = make_ids()
+        ids.set_rate_limit("/uav1/pose", max_hz=5.0)
+        for i in range(2):
+            bus.advance_clock(i * 0.05)
+            bus.publish("/uav1/pose", i, sender="uav1")
+        assert ids.scan(0.1) == []
+
     def test_custom_rule(self):
         bus, _, ids = make_ids()
         ids.custom_rules.append(
