@@ -18,6 +18,14 @@ Usage::
     python -m repro campaign monte-carlo --workers 4   # sharded sweep
     python -m repro campaign monte-carlo --resume      # finish a broken run
 
+    python -m repro campaign fuzz --profile smoke --count 200 --workers 4
+                                  # generated scenarios vs the oracle suite;
+                                  # violations are shrunk to artifacts/repro_<seed>.json
+
+    python -m repro scenario validate scenarios/windy_night_sar.json
+    python -m repro scenario replay artifacts/repro_123.json   # re-run a repro
+                                  # under the oracles; exits 1 on violation
+
     python -m repro fig5 --trace fig5.jsonl            # capture an obs trace
     python -m repro obs summarize fig5.jsonl           # render it
     python -m repro obs chrome fig5.jsonl              # chrome://tracing JSON
@@ -157,6 +165,70 @@ def _run_single(name: str, args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz_cli(args: argparse.Namespace, policy) -> int:
+    """``python -m repro campaign fuzz``: generate, check, shrink."""
+    import json as json_module
+
+    from repro.harness.campaign import CampaignAborted
+    from repro.harness.fuzz import run_fuzz
+    from repro.harness.fuzz.campaign import summarize_fuzz
+
+    chaos = json_module.loads(args.chaos) if args.chaos else None
+    try:
+        outcome = run_fuzz(
+            profile=args.profile,
+            count=args.count,
+            root_seed=args.seed,
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            manifest_path=args.manifest,
+            artifacts_dir=args.artifacts,
+            chaos=chaos,
+            shrink=not args.no_shrink,
+            policy=policy,
+            resume=args.resume,
+        )
+    except CampaignAborted as exc:
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        print(
+            "\nfuzzing interrupted — completed scenarios are checkpointed; "
+            "rerun to pick up where it left off",
+            file=sys.stderr,
+        )
+        return 130
+    result = outcome.campaign
+    print(
+        f"campaign fuzz grid={result.grid} root_seed={result.root_seed} "
+        f"workers={result.workers}"
+    )
+    totals = result.manifest["totals"]
+    print(
+        f"samples: {totals['samples']} ({totals['cached']} cached, "
+        f"{totals['failed']} failed)  "
+        f"wall: {totals['wall_s']:.2f} s  fingerprint: {result.fingerprint}"
+    )
+    if result.manifest_path is not None:
+        print(f"manifest: {result.manifest_path}")
+    print(summarize_fuzz(result))
+    for seed, path in outcome.repro_paths.items():
+        shrunk = outcome.shrink_results[seed]
+        print(
+            f"minimized repro ({shrunk.oracle}, {shrunk.checks} shrink "
+            f"checks): {path}"
+        )
+        print(f"  replay with: python -m repro scenario replay {path}")
+    if not outcome.ok:
+        print(
+            f"{len(outcome.violations)} oracle-violating and "
+            f"{len(outcome.crashes)} crashed scenario(s) quarantined",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_campaign_cli(args: argparse.Namespace) -> int:
     """``python -m repro campaign <experiment>``: a sharded, cached sweep."""
     from repro.experiments.campaigns import get_experiment, list_experiments
@@ -177,6 +249,8 @@ def _run_campaign_cli(args: argparse.Namespace) -> int:
         backoff_s=args.backoff,
         max_failures=args.max_failures,
     )
+    if experiment.name == "fuzz":
+        return _run_fuzz_cli(args, policy)
     try:
         result = run_campaign(
             experiment,
@@ -239,6 +313,74 @@ def _run_campaign_cli(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _run_scenario_cli(args: argparse.Namespace) -> int:
+    """``python -m repro scenario validate|replay <file.json>``."""
+    import json
+    from pathlib import Path
+
+    path = Path(args.file)
+    try:
+        config = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"{path}: cannot read: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(config, dict):
+        print(f"{path}: expected a JSON object at the top level", file=sys.stderr)
+        return 1
+
+    if args.scenario_command == "validate":
+        from repro.scenario import lint_scenario
+
+        problems = lint_scenario(config)
+        if problems:
+            print(f"{path}: {len(problems)} problem(s)", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        uavs = config.get("uavs", [])
+        print(
+            f"{path}: OK — {len(uavs)} uav(s), "
+            f"{len(config.get('faults', []))} fault(s), "
+            f"{len(config.get('attacks', []))} attack(s)"
+            + (", chaos script present" if config.get("chaos") else "")
+        )
+        return 0
+
+    # replay: run the scenario under the full property-oracle suite.
+    from repro.harness.oracles import run_scenario_oracles
+    from repro.scenario import ScenarioError
+
+    try:
+        report = run_scenario_oracles(config, horizon_s=args.horizon)
+    except ScenarioError as exc:
+        print(f"{path}: scenario does not load: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{path}: {report.steps} steps over {report.horizon_s:g} s sim "
+        f"time, oracles: {', '.join(report.checked)}"
+    )
+    if report.passed:
+        print("all oracles passed")
+        return 0
+    for violation in report.violations:
+        where = f" uav={violation.uav}" if violation.uav else ""
+        when = f" t={violation.time:g}" if violation.time is not None else ""
+        print(
+            f"VIOLATION [{violation.oracle}]{when}{where}: "
+            f"{violation.message}",
+            file=sys.stderr,
+        )
+    if report.suppressed:
+        print(
+            f"({report.suppressed} further violation(s) suppressed)",
+            file=sys.stderr,
+        )
+    return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -326,6 +468,50 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics", default=None, metavar="PATH",
         help="write the merged Prometheus-style metrics dump to PATH",
     )
+    fuzz_opts = campaign.add_argument_group(
+        "fuzz options (campaign fuzz only)"
+    )
+    fuzz_opts.add_argument(
+        "--profile", choices=("smoke", "default", "hostile"),
+        default="default", help="scenario generator profile",
+    )
+    fuzz_opts.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="generated scenarios to run (default: profile-specific)",
+    )
+    fuzz_opts.add_argument(
+        "--artifacts", default="artifacts", metavar="DIR",
+        help="directory for minimized repro_<seed>.json files",
+    )
+    fuzz_opts.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violations without shrinking them",
+    )
+    fuzz_opts.add_argument(
+        "--chaos", default=None, metavar="JSON",
+        help="scenario chaos block to arm in every generated scenario "
+             '(self-test, e.g. \'{"mode": "teleport", "at": 10}\')',
+    )
+
+    scenario = sub.add_parser(
+        "scenario", help="validate or replay a scenario JSON file"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    validate = scenario_sub.add_parser(
+        "validate",
+        help="lint a scenario file; nonzero exit with a readable report",
+    )
+    validate.add_argument("file", help="scenario JSON file")
+    replay = scenario_sub.add_parser(
+        "replay",
+        help="run a scenario under the property-oracle suite "
+             "(exits 1 on any violation)",
+    )
+    replay.add_argument("file", help="scenario JSON file")
+    replay.add_argument(
+        "--horizon", type=float, default=None, metavar="S",
+        help="override the simulated horizon in seconds",
+    )
 
     from repro.obs.cli import add_obs_parser
 
@@ -338,6 +524,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "campaign":
         return _run_campaign_cli(args)
+    if args.command == "scenario":
+        return _run_scenario_cli(args)
     if args.command == "obs":
         from repro.obs.cli import run_obs_cli
 

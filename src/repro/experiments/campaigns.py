@@ -12,6 +12,7 @@ import repro.experiments.comm_availability  # noqa: F401  (registers "comm")
 import repro.experiments.fleet_scale  # noqa: F401  (registers "fleet-scale")
 import repro.experiments.monte_carlo  # noqa: F401  (registers "monte-carlo")
 import repro.harness.chaos  # noqa: F401  (registers "chaos")
+import repro.harness.fuzz.campaign  # noqa: F401  (registers "fuzz")
 import repro.harness.synthetic  # noqa: F401  (registers "synthetic")
 
 from repro.harness.campaign import get_experiment, list_experiments

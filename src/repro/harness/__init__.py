@@ -20,10 +20,16 @@ regardless of worker count or scheduling order:
   bounds samples with timeouts and retries, failed samples are
   quarantined as ``status: "failed"`` manifest records instead of
   killing their siblings, and ``resume=True`` re-runs only failed or
-  missing grid points.
+  missing grid points;
+- the platform hunts its own bugs: :mod:`repro.harness.oracles` is the
+  property-oracle suite every simulation must satisfy, and
+  :mod:`repro.harness.fuzz` generates seeded random scenarios, runs
+  them through the campaign machinery against the oracles, and shrinks
+  any violation to a minimal reproducing scenario file.
 
 Entry points: :func:`repro.harness.campaign.run_campaign` and the
-``python -m repro campaign <experiment>`` CLI.
+``python -m repro campaign <experiment>`` CLI (including
+``campaign fuzz --profile {smoke,default,hostile} --count N``).
 """
 
 from repro.harness.campaign import (
@@ -43,6 +49,7 @@ from repro.harness.manifest import (
     manifest_fingerprint,
     write_manifest,
 )
+from repro.harness.oracles import OracleReport, Violation, run_scenario_oracles
 from repro.harness.seeding import spawn_sample_seeds
 from repro.harness.timing import PhaseTimer
 
@@ -52,15 +59,18 @@ __all__ = [
     "CampaignResult",
     "FaultPolicy",
     "MANIFEST_SCHEMA_VERSION",
+    "OracleReport",
     "PhaseTimer",
     "ResultCache",
     "SampleRecord",
+    "Violation",
     "code_fingerprint",
     "get_experiment",
     "list_experiments",
     "manifest_fingerprint",
     "register_experiment",
     "run_campaign",
+    "run_scenario_oracles",
     "spawn_sample_seeds",
     "stable_hash",
     "write_manifest",

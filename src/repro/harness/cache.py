@@ -145,13 +145,22 @@ class ResultCache:
         return record
 
     def put(self, experiment: str, key: str, record: dict) -> None:
-        """Atomically persist ``record`` (write-to-temp + rename)."""
+        """Durably persist ``record`` (write-to-temp + fsync + rename).
+
+        The fsync before the rename matters: without it a crash (or
+        SIGKILL) shortly after ``put`` returns can leave the *renamed*
+        file truncated — the pathological case where the corrupt-record
+        eviction path silently discards completed work on resume. With
+        it, the rename only ever publishes fully-written bytes.
+        """
         path = self._path(experiment, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

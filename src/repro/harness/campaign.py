@@ -150,6 +150,9 @@ class SampleRecord:
     error: dict | None = None
     #: Per-sample obs metrics snapshot; only present on observed runs.
     metrics: dict | None = None
+    #: Property-oracle verdict block (schema v3); present when the
+    #: sample function returns an ``"oracles"`` entry in its result.
+    oracles: dict | None = None
 
     def to_dict(self) -> dict:
         data = {
@@ -168,6 +171,8 @@ class SampleRecord:
             data["error"] = self.error
         if self.metrics is not None:
             data["metrics"] = self.metrics
+        if self.oracles is not None:
+            data["oracles"] = self.oracles
         return data
 
     @classmethod
@@ -255,6 +260,12 @@ def _execute_sample(
     merged campaign-wide) and a transient ``"obs"`` blob of spans/events
     that :func:`run_campaign` strips into the trace file — it never
     reaches the cache or the manifest.
+
+    A sample function that returns an ``"oracles"`` entry in its result
+    (the property-oracle verdict block, see :mod:`repro.harness.oracles`)
+    has it lifted to a top-level record field — deterministic, hashed by
+    the manifest fingerprint, and queryable without digging into
+    experiment-specific result shapes.
     """
     timer = PhaseTimer()
     start = time.perf_counter()
@@ -266,6 +277,7 @@ def _execute_sample(
         result = experiment.sample_fn(dict(config), seed, timer)
         payload = None
     wall = time.perf_counter() - start
+    oracles = result.pop("oracles", None) if isinstance(result, dict) else None
     record = {
         "index": index,
         "seed": seed,
@@ -278,6 +290,8 @@ def _execute_sample(
         "status": "ok",
         "attempts": 1,
     }
+    if oracles is not None:
+        record["oracles"] = oracles
     if payload is not None:
         record["metrics"] = payload["metrics"]
         record["obs"] = {"spans": payload["spans"], "events": payload["events"]}

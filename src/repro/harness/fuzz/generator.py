@@ -1,0 +1,271 @@
+"""Seeded procedural scenario generator.
+
+``ScenarioGenerator(seed).generate(profile)`` draws a complete scenario
+config — world size, fleet mix, missions, weather, survivor count, fault
+and attack scripts — from one :class:`numpy.random.Generator` stream, so
+the whole scenario is a pure function of ``(seed, profile)``:
+
+- same seed ⇒ byte-identical JSON (:meth:`ScenarioGenerator.generate_json`
+  serialises with sorted keys), across processes and platforms;
+- every emitted config round-trips through
+  :func:`repro.scenario.load_scenario_json` and lints clean under
+  :func:`repro.scenario.lint_scenario`;
+- every drawn value is a plain Python scalar/list (no NumPy types), so
+  the config survives JSON serialisation unchanged.
+
+Profiles shape the distribution, not the mechanism: ``smoke`` is small
+and fast enough for a per-PR CI gate, ``default`` covers the full fault
+vocabulary, ``hostile`` pushes fleet size, weather, comm partitions and
+spoofing attacks to the configured limits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fault vocabulary understood by :func:`repro.scenario.load_scenario`.
+BASIC_FAULTS = (
+    "battery_collapse",
+    "gps_denial",
+    "gps_spoof",
+    "imu_failure",
+    "motor_failure",
+    "camera_degradation",
+)
+COMM_FAULTS = ("comm_blackout", "comm_degradation", "network_partition")
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Shape of the scenario distribution one fuzzing tier draws from."""
+
+    name: str
+    #: Inclusive fleet-size bounds.
+    uavs: tuple[int, int]
+    #: Simulated horizon bounds (seconds); rounded to a ``dt`` multiple.
+    horizon_s: tuple[float, float]
+    #: Candidate simulation step sizes.
+    dt_choices: tuple[float, ...]
+    #: Square world-side bounds (metres).
+    area_m: tuple[float, float]
+    #: Inclusive survivor-count bounds.
+    persons: tuple[int, int]
+    #: Maximum scripted faults per scenario (draw is uniform 0..max).
+    max_faults: int
+    #: Fault vocabulary this tier draws from.
+    fault_types: tuple[str, ...]
+    #: Maximum ros_spoofing attacks per scenario.
+    max_attacks: int
+    #: Probability a UAV gets a waypoint mission (else it idles at base).
+    p_mission: float
+    #: Probability the scenario carries an explicit weather section.
+    p_environment: float
+
+
+PROFILES: dict[str, FuzzProfile] = {
+    profile.name: profile
+    for profile in (
+        FuzzProfile(
+            name="smoke",
+            uavs=(1, 4),
+            horizon_s=(20.0, 40.0),
+            dt_choices=(0.5,),
+            area_m=(150.0, 400.0),
+            persons=(0, 3),
+            max_faults=2,
+            fault_types=BASIC_FAULTS,
+            max_attacks=0,
+            p_mission=0.8,
+            p_environment=0.4,
+        ),
+        FuzzProfile(
+            name="default",
+            uavs=(1, 16),
+            horizon_s=(30.0, 90.0),
+            dt_choices=(0.5,),
+            area_m=(200.0, 800.0),
+            persons=(0, 8),
+            max_faults=4,
+            fault_types=BASIC_FAULTS + COMM_FAULTS,
+            max_attacks=1,
+            p_mission=0.8,
+            p_environment=0.5,
+        ),
+        FuzzProfile(
+            name="hostile",
+            uavs=(4, 64),
+            horizon_s=(40.0, 120.0),
+            dt_choices=(0.25, 0.5),
+            area_m=(300.0, 1500.0),
+            persons=(0, 16),
+            max_faults=8,
+            fault_types=BASIC_FAULTS + COMM_FAULTS,
+            max_attacks=3,
+            p_mission=0.9,
+            p_environment=0.8,
+        ),
+    )
+}
+
+
+def get_profile(name: str | FuzzProfile) -> FuzzProfile:
+    """Resolve a profile by name (pass-through for profile objects)."""
+    if isinstance(name, FuzzProfile):
+        return name
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(
+            f"unknown fuzz profile {name!r}; known profiles: {known}"
+        ) from None
+
+
+class ScenarioGenerator:
+    """Deterministic scenario sampler: one RNG stream, consumed in order.
+
+    Draw order is part of the format — every draw happens in a fixed
+    sequence regardless of which branches fire, so two generators built
+    from the same seed replay identical scenarios. (Conditional sections
+    draw their gate first, then their contents only when the gate fires;
+    that is still deterministic because the gate consumes the stream.)
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------ draws
+    def _uniform(self, lo: float, hi: float, ndigits: int = 2) -> float:
+        return round(float(self._rng.uniform(lo, hi)), ndigits)
+
+    def _int(self, lo: int, hi: int) -> int:
+        """Inclusive integer draw."""
+        return int(self._rng.integers(lo, hi + 1))
+
+    def _choice(self, options) -> object:
+        return options[int(self._rng.integers(len(options)))]
+
+    def _chance(self, p: float) -> bool:
+        return bool(self._rng.random() < p)
+
+    # ------------------------------------------------------- generation
+    def generate(self, profile: str | FuzzProfile = "default") -> dict:
+        """One scenario config drawn from ``profile``'s distribution."""
+        profile = get_profile(profile)
+        rng = self._rng
+
+        dt = float(self._choice(profile.dt_choices))
+        area = self._uniform(*profile.area_m, ndigits=0)
+        n_uavs = self._int(*profile.uavs)
+        horizon_steps = max(
+            1, int(round(self._uniform(*profile.horizon_s, ndigits=1) / dt))
+        )
+
+        config: dict = {
+            "description": f"fuzz profile={profile.name} seed={self.seed}",
+            "seed": int(rng.integers(0, 2**31)),
+            "engine": str(self._choice(("scalar", "vectorized"))),
+            "dt": dt,
+            "area_size_m": [area, area],
+            "horizon_s": round(horizon_steps * dt, 6),
+            "persons": self._int(*profile.persons),
+            "uavs": [],
+        }
+
+        if self._chance(profile.p_environment):
+            config["environment"] = {
+                "wind_mean_mps": self._uniform(0.0, 12.0),
+                "wind_direction_deg": self._uniform(0.0, 360.0, ndigits=0),
+                "ambient_c": self._uniform(-10.0, 45.0, ndigits=1),
+                "visibility": str(self._choice(("good", "good", "poor"))),
+            }
+
+        uav_ids = [f"uav{i + 1}" for i in range(n_uavs)]
+        for uav_id in uav_ids:
+            uav: dict = {
+                "id": uav_id,
+                "base": [
+                    self._uniform(0.0, area),
+                    self._uniform(0.0, area),
+                    0.0,
+                ],
+                "rotors": int(self._choice((4, 4, 6, 8))),
+                "max_speed_mps": self._uniform(6.0, 14.0, ndigits=1),
+            }
+            if self._chance(profile.p_mission):
+                uav["mission"] = [
+                    [
+                        self._uniform(0.0, area),
+                        self._uniform(0.0, area),
+                        self._uniform(5.0, 40.0, ndigits=1),
+                    ]
+                    for _ in range(self._int(1, 4))
+                ]
+            config["uavs"].append(uav)
+
+        horizon = config["horizon_s"]
+        faults = [
+            self._draw_fault(profile, uav_ids, horizon)
+            for _ in range(self._int(0, profile.max_faults))
+        ]
+        config["faults"] = [fault for fault in faults if fault is not None]
+
+        config["attacks"] = [
+            {
+                "type": "ros_spoofing",
+                "topic": f"/{self._choice(uav_ids)}/pose",
+                "sender": str(self._choice(uav_ids)),
+                "start": self._uniform(1.0, max(1.5, 0.5 * horizon), ndigits=1),
+                "rate_hz": self._uniform(0.5, 10.0, ndigits=1),
+            }
+            for _ in range(self._int(0, profile.max_attacks))
+        ]
+        return config
+
+    def _draw_fault(
+        self, profile: FuzzProfile, uav_ids: list[str], horizon: float
+    ) -> dict | None:
+        """One fault spec; ``None`` when the draw needs an absent shape
+        (a partition in a one-UAV fleet). The discarded draws still
+        consumed the stream, so determinism is unaffected."""
+        kind = str(self._choice(profile.fault_types))
+        at = self._uniform(1.0, max(1.5, 0.8 * horizon), ndigits=1)
+        spec: dict = {"type": kind, "at": at}
+        if kind == "network_partition":
+            if len(uav_ids) < 2:
+                return None
+            split = self._int(1, len(uav_ids) - 1)
+            spec["group_a"] = uav_ids[:split]
+            spec["group_b"] = uav_ids[split:]
+            spec["duration"] = self._uniform(2.0, 30.0, ndigits=1)
+            return spec
+        spec["uav"] = str(self._choice(uav_ids))
+        if kind == "battery_collapse":
+            spec["soc_drop_to"] = self._uniform(0.05, 0.6)
+        elif kind in ("gps_denial", "comm_blackout"):
+            spec["duration"] = self._uniform(2.0, 30.0, ndigits=1)
+        elif kind == "gps_spoof":
+            spec["offset"] = [
+                self._uniform(-60.0, 60.0),
+                self._uniform(-60.0, 60.0),
+                self._uniform(-10.0, 10.0),
+            ]
+        elif kind == "camera_degradation":
+            spec["rate"] = self._uniform(0.05, 0.9)
+        elif kind == "comm_degradation":
+            spec["loss"] = self._uniform(0.1, 0.95)
+            spec["duration"] = self._uniform(2.0, 30.0, ndigits=1)
+        return spec
+
+    def generate_json(self, profile: str | FuzzProfile = "default") -> str:
+        """The canonical byte-stable serialisation of one drawn scenario."""
+        return scenario_to_json(self.generate(profile))
+
+
+def scenario_to_json(config: dict) -> str:
+    """Canonical scenario serialisation: sorted keys, 2-space indent."""
+    return json.dumps(config, indent=2, sort_keys=True) + "\n"

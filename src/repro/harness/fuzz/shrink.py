@@ -1,0 +1,202 @@
+"""Automatic failure shrinking: minimize a violating scenario.
+
+A fuzzer-found failure in a 40-UAV, 8-fault scenario is evidence; a
+2-UAV, 1-fault scenario that still trips the same oracle is a bug
+report. :func:`shrink_scenario` greedily removes structure — UAVs (with
+their dependent faults, attacks and partition memberships), fault
+scripts, attacks, survivors, the weather section — then binary-searches
+the shortest horizon, keeping every candidate only if it still
+reproduces a violation of the target oracle. Passes repeat to a fixed
+point, and the final minimal scenario is re-checked twice for a
+deterministic verdict before being reported.
+
+Everything here is pure config-dict surgery plus re-running
+:func:`repro.harness.oracles.run_scenario_oracles`; the shrinker never
+mutates the input config.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.harness.oracles import run_scenario_oracles, scenario_horizon_s
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    config: dict
+    oracle: str
+    checks: int
+    #: Violation messages of the minimized scenario's (deterministic) run.
+    violations: list[dict]
+
+    @property
+    def size(self) -> int:
+        """Canonical-JSON size of the minimized config, in bytes."""
+        return scenario_size(self.config)
+
+
+def scenario_size(config: dict) -> int:
+    """Size metric shrinking minimizes: canonical JSON byte length."""
+    return len(json.dumps(config, sort_keys=True))
+
+
+def _clone(config: dict) -> dict:
+    return json.loads(json.dumps(config))
+
+
+def _drop_uav(config: dict, uav_id: str) -> dict | None:
+    """``config`` without ``uav_id`` and everything referencing it.
+
+    Partition groups are pruned rather than dropped wholesale; a fault
+    whose group empties goes with it. UAV ids are never renumbered — the
+    shrunk scenario must stay recognisably a sub-scenario of the
+    original. Returns ``None`` when the drop would empty the fleet.
+    """
+    uavs = [u for u in config.get("uavs", []) if u.get("id") != uav_id]
+    if not uavs or len(uavs) == len(config.get("uavs", [])):
+        return None
+    out = _clone(config)
+    out["uavs"] = [u for u in out["uavs"] if u.get("id") != uav_id]
+    faults = []
+    for fault in out.get("faults", []):
+        if fault.get("uav") == uav_id:
+            continue
+        if fault.get("type") == "network_partition":
+            fault = dict(fault)
+            fault["group_a"] = [u for u in fault["group_a"] if u != uav_id]
+            fault["group_b"] = [u for u in fault["group_b"] if u != uav_id]
+            if not fault["group_a"] or not fault["group_b"]:
+                continue
+        faults.append(fault)
+    if "faults" in out:
+        out["faults"] = faults
+    if "attacks" in out:
+        out["attacks"] = [
+            a for a in out["attacks"] if a.get("sender", "uav1") != uav_id
+        ]
+    chaos = out.get("chaos")
+    if chaos is not None and chaos.get("uav", "uav1") == uav_id:
+        return None  # the scripted bug needs its target
+    return out
+
+
+def _without_index(config: dict, section: str, index: int) -> dict:
+    out = _clone(config)
+    out[section] = [
+        item for i, item in enumerate(out[section]) if i != index
+    ]
+    if not out[section]:
+        del out[section]
+    return out
+
+
+def shrink_scenario(
+    config: dict,
+    target_oracle: str | None = None,
+    horizon_s: float | None = None,
+    max_checks: int = 200,
+) -> ShrinkResult:
+    """Minimize ``config`` while it still violates ``target_oracle``.
+
+    ``target_oracle`` defaults to the first oracle the unshrunk scenario
+    violates (the input must violate *something*, else ``ValueError``).
+    ``max_checks`` caps the number of oracle re-runs; shrinking stops at
+    the cap and returns the smallest reproducer found so far — still a
+    valid reproducer, just possibly not minimal.
+    """
+    config = _clone(config)
+    if horizon_s is not None:
+        config["horizon_s"] = float(horizon_s)
+    checks = 0
+
+    def reproduces(candidate: dict) -> bool:
+        nonlocal checks
+        checks += 1
+        report = run_scenario_oracles(candidate)
+        return target_oracle in report.violated_oracles
+
+    baseline = run_scenario_oracles(config)
+    checks += 1
+    if target_oracle is None:
+        if not baseline.violated_oracles:
+            raise ValueError(
+                "shrink_scenario: input scenario violates no oracle"
+            )
+        target_oracle = baseline.violated_oracles[0]
+    elif target_oracle not in baseline.violated_oracles:
+        raise ValueError(
+            f"shrink_scenario: input scenario does not violate "
+            f"{target_oracle!r} (violates {baseline.violated_oracles!r})"
+        )
+
+    # Greedy removal passes to a fixed point: each pass tries every
+    # still-droppable element once; another pass runs while any drop
+    # landed (earlier drops can unlock later ones).
+    shrunk = True
+    while shrunk and checks < max_checks:
+        shrunk = False
+        for uav in list(config.get("uavs", [])):
+            candidate = _drop_uav(config, uav["id"])
+            if candidate is not None and reproduces(candidate):
+                config = candidate
+                shrunk = True
+            if checks >= max_checks:
+                break
+        for section in ("faults", "attacks"):
+            index = 0
+            while index < len(config.get(section, [])) and checks < max_checks:
+                candidate = _without_index(config, section, index)
+                if reproduces(candidate):
+                    config = candidate  # same index now names the next item
+                else:
+                    index += 1
+        for key, empty in (("environment", None), ("persons", 0)):
+            if checks >= max_checks or config.get(key, empty) == empty:
+                continue
+            candidate = _clone(config)
+            del candidate[key]
+            if reproduces(candidate):
+                config = candidate
+                shrunk = True
+
+    # Horizon last: binary-search the shortest run (in dt multiples)
+    # that still reproduces. Chaos scripts fire at a fixed time, so the
+    # violation time bounds the horizon from below.
+    dt = float(config.get("dt", 0.5))
+    horizon = scenario_horizon_s(config)
+    lo_steps, hi_steps = 1, max(1, int(round(horizon / dt)))
+    while lo_steps < hi_steps and checks < max_checks:
+        mid = (lo_steps + hi_steps) // 2
+        candidate = _clone(config)
+        candidate["horizon_s"] = round(mid * dt, 6)
+        if reproduces(candidate):
+            hi_steps = mid
+        else:
+            lo_steps = mid + 1
+    config["horizon_s"] = round(hi_steps * dt, 6)
+
+    # Deterministic-verdict check: the minimized scenario must fail the
+    # same way twice in a row before we publish it as a reproducer.
+    first = run_scenario_oracles(config)
+    second = run_scenario_oracles(config)
+    checks += 2
+    if first.to_dict() != second.to_dict():
+        raise RuntimeError(
+            "shrink_scenario: minimized scenario is non-deterministic "
+            f"(verdicts differ across two identical runs): {config!r}"
+        )
+    if target_oracle not in first.violated_oracles:
+        raise RuntimeError(
+            "shrink_scenario: minimized scenario stopped reproducing "
+            f"{target_oracle!r} on the final check"
+        )
+    return ShrinkResult(
+        config=config,
+        oracle=target_oracle,
+        checks=checks,
+        violations=[v.to_dict() for v in first.violations],
+    )

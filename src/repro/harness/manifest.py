@@ -6,7 +6,7 @@ reproduce a campaign:
 .. code-block:: text
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "experiment":  "monte-carlo",
       "grid":        "smoke",
       "root_seed":   17,
@@ -26,13 +26,16 @@ reproduce a campaign:
 Schema version 2 added per-sample fault-tolerance fields: ``status``
 (``"ok"`` or ``"failed"``), ``attempts`` (retries count), an ``error``
 object on quarantined samples (``kind``/``type``/``message``), and the
-``failed`` total.
+``failed`` total. Schema version 3 added the optional per-sample
+``oracles`` block — the property-oracle verdict
+(:mod:`repro.harness.oracles`) lifted out of the sample result by the
+runner; absent on samples whose experiment runs no oracles.
 
-``index``, ``seed``, ``config``, ``result`` and ``status`` are
-deterministic — identical for the same (experiment, grid, root seed) at
-any worker count, with retries re-running on the sample's original seed.
-``wall_time_s``, ``worker``, ``cached``, ``attempts``, ``error`` and the
-timing counters are provenance, not results;
+``index``, ``seed``, ``config``, ``result``, ``status`` and ``oracles``
+are deterministic — identical for the same (experiment, grid, root seed)
+at any worker count, with retries re-running on the sample's original
+seed. ``wall_time_s``, ``worker``, ``cached``, ``attempts``, ``error``
+and the timing counters are provenance, not results;
 :func:`manifest_fingerprint` hashes only the deterministic subset, which
 is what the serial-vs-parallel equivalence guarantee (and its regression
 test) is stated over.
@@ -45,17 +48,22 @@ from pathlib import Path
 
 from repro.harness.cache import stable_hash
 
-MANIFEST_SCHEMA_VERSION = 2
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Per-sample fields that identify the *result*, not the run that made it.
-DETERMINISTIC_SAMPLE_FIELDS = ("index", "seed", "config", "result", "status")
+DETERMINISTIC_SAMPLE_FIELDS = (
+    "index", "seed", "config", "result", "status", "oracles",
+)
+
+#: Defaults for deterministic fields older schemas did not write.
+_FIELD_DEFAULTS = {"status": "ok", "oracles": None}
 
 
 def deterministic_view(manifest: dict) -> dict:
     """The scheduling-independent subset of a manifest.
 
-    Tolerates schema-1 manifests (no per-sample ``status``) by treating
-    every sample as ``"ok"``.
+    Tolerates older-schema manifests (no per-sample ``status`` or
+    ``oracles``) by filling the fields' defaults.
     """
     return {
         "schema_version": manifest["schema_version"],
@@ -64,8 +72,8 @@ def deterministic_view(manifest: dict) -> dict:
         "root_seed": manifest["root_seed"],
         "samples": [
             {
-                field: sample.get("status", "ok") if field == "status"
-                else sample[field]
+                field: sample.get(field, _FIELD_DEFAULTS[field])
+                if field in _FIELD_DEFAULTS else sample[field]
                 for field in DETERMINISTIC_SAMPLE_FIELDS
             }
             for sample in manifest["samples"]

@@ -1,0 +1,473 @@
+"""Property oracles: invariants every simulation run must satisfy.
+
+The fleet-engine property suite (``tests/test_fleet_properties.py``) and
+the differential suite (``tests/test_fleet_equivalence.py``) encode what
+a correct simulation looks like: battery charge never rises, no UAV
+moves faster than its speed limit allows, a landed UAV stays put, and
+the scalar and vectorized engines agree to the bit. This module extracts
+those predicates into one importable implementation shared by the tests
+and the fuzzing campaign (:mod:`repro.harness.fuzz`), wraps them as
+stateful :class:`Oracle` checkers, and provides
+:func:`run_scenario_oracles` — the dual-engine harness that runs any
+scenario config under the full oracle suite:
+
+``soc_monotonic``
+    State of charge is non-increasing for every UAV at every step
+    (there is no charger in the simulation; faults only drop it).
+``teleport_bound``
+    Per-step displacement never exceeds ``v_max * dt`` (plus float
+    slack) — the "no teleportation" kinematic bound.
+``landed_drift``
+    A UAV that touched down stays exactly where it landed.
+``engine_lockstep``
+    The scalar reference and the vectorized engine agree exactly on
+    position, velocity, SoC, temperature, and flight mode at every step
+    (the PR-4 bit-identical contract, enforced on arbitrary inputs).
+``guarantee_sanity``
+    Each UAV's ConSert/EDDI guarantee trace is well-formed: timestamps
+    never decrease, every entry is a known guarantee, the response log
+    records exactly the transitions (no phantom or missed responses),
+    and both engines produce identical guarantee traces.
+``no_unhandled_exception``
+    The run completes without the simulator raising.
+
+The runner also honours a scenario-level ``"chaos"`` block — a scripted
+simulator *bug* (teleport, SoC jump, or raised exception) used to prove
+the oracles catch violations and to exercise the failure shrinker; see
+:mod:`repro.harness.fuzz`.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.adapters import build_fleet_eddis
+from repro.core.uav_network import UavGuarantee
+from repro.scenario import Scenario, load_scenario
+from repro.uav.uav import FlightMode
+from repro.uav.world import World
+
+#: Slack for the SoC monotonicity check (one ULP of accumulated error).
+SOC_RISE_TOL = 1e-15
+#: Relative/absolute slack on the kinematic displacement bound.
+TELEPORT_REL_TOL = 1e-12
+TELEPORT_ABS_TOL = 1e-12
+#: Horizon used when neither the caller nor the config pins one.
+DEFAULT_HORIZON_S = 60.0
+#: Default simulated seconds between EDDI assurance cycles.
+DEFAULT_EDDI_PERIOD_S = 2.0
+
+
+# -------------------------------------------------------------- predicates
+def soc_step_ok(prev_soc: float, soc: float, tol: float = SOC_RISE_TOL) -> bool:
+    """Whether one SoC step respects monotonic non-increase."""
+    return soc <= prev_soc + tol
+
+
+def teleport_bound_m(v_max: float, dt: float, drift_mps: float = 0.0) -> float:
+    """The per-step displacement bound (with float slack) for one UAV.
+
+    ``drift_mps`` is the magnitude of environment-imposed drift (the
+    unrejected wind the world adds on top of commanded velocity, see
+    ``Environment.apply_wind_drift``); zero in calm air.
+    """
+    return (v_max + drift_mps) * dt * (1.0 + TELEPORT_REL_TOL) + TELEPORT_ABS_TOL
+
+
+def teleport_step_ok(
+    prev_pos: tuple[float, float, float],
+    pos: tuple[float, float, float],
+    v_max: float,
+    dt: float,
+    drift_mps: float = 0.0,
+) -> bool:
+    """Whether one position step respects the kinematic speed bound."""
+    return math.dist(prev_pos, pos) <= teleport_bound_m(v_max, dt, drift_mps)
+
+
+def landed_step_ok(
+    landed_pos: tuple[float, float, float], pos: tuple[float, float, float]
+) -> bool:
+    """Whether a landed UAV is still exactly at its touchdown point."""
+    return pos == landed_pos
+
+
+# ---------------------------------------------------------------- plumbing
+@dataclass(frozen=True)
+class Violation:
+    """One oracle violation, JSON-able for manifests and repro files."""
+
+    oracle: str
+    time: float | None
+    uav: str | None
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "time": self.time,
+            "uav": self.uav,
+            "message": self.message,
+        }
+
+
+class Oracle:
+    """Base class: accumulates violations, capped to bound report size."""
+
+    name = "oracle"
+
+    def __init__(self, max_violations: int = 10) -> None:
+        self.violations: list[Violation] = []
+        self.suppressed = 0
+        self._cap = max_violations
+
+    def record(
+        self, time: float | None, uav: str | None, message: str
+    ) -> None:
+        if len(self.violations) >= self._cap:
+            self.suppressed += 1
+            return
+        self.violations.append(Violation(self.name, time, uav, message))
+
+    def observe(self, world: World, now: float) -> None:
+        """Check one completed step (override)."""
+
+    def finish(self) -> None:
+        """Run end-of-scenario checks (override)."""
+
+
+class SocMonotonicOracle(Oracle):
+    """Battery state of charge never rises."""
+
+    name = "soc_monotonic"
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._prev: dict[str, float] = {}
+
+    def observe(self, world: World, now: float) -> None:
+        for uav_id, uav in world.uavs.items():
+            soc = uav.battery.soc
+            prev = self._prev.get(uav_id)
+            if prev is not None and not soc_step_ok(prev, soc):
+                self.record(
+                    now, uav_id, f"SoC rose {prev!r} -> {soc!r} in one step"
+                )
+            self._prev[uav_id] = soc
+
+
+class TeleportBoundOracle(Oracle):
+    """Per-step displacement bounded by ``v_max * dt``."""
+
+    name = "teleport_bound"
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._prev: dict[str, tuple[float, float, float]] = {}
+
+    def observe(self, world: World, now: float) -> None:
+        for uav_id, uav in world.uavs.items():
+            pos = uav.dynamics.position
+            prev = self._prev.get(uav_id)
+            # drift_velocity holds exactly the wind drift the world added
+            # to this UAV's position during the step just completed.
+            drift = math.hypot(*uav.dynamics.drift_velocity)
+            if prev is not None and not teleport_step_ok(
+                prev, pos, uav.dynamics.max_speed_mps, world.dt, drift
+            ):
+                moved = math.dist(prev, pos)
+                bound = teleport_bound_m(
+                    uav.dynamics.max_speed_mps, world.dt, drift
+                )
+                self.record(
+                    now, uav_id,
+                    f"teleported {moved:.6f} m in one step "
+                    f"(bound {bound:.6f} m incl. {drift:.3f} m/s wind drift)",
+                )
+            self._prev[uav_id] = pos
+
+
+class LandedDriftOracle(Oracle):
+    """A landed UAV stays exactly at its touchdown point."""
+
+    name = "landed_drift"
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._landed_at: dict[str, tuple[float, float, float]] = {}
+
+    def observe(self, world: World, now: float) -> None:
+        for uav_id, uav in world.uavs.items():
+            pos = uav.dynamics.position
+            landed = self._landed_at.get(uav_id)
+            if landed is not None:
+                if not landed_step_ok(landed, pos):
+                    self.record(
+                        now, uav_id,
+                        f"drifted after landing: {landed!r} -> {pos!r}",
+                    )
+                    self._landed_at[uav_id] = pos  # report drift once per hop
+            elif uav.mode is FlightMode.LANDED:
+                self._landed_at[uav_id] = pos
+
+
+class EngineLockstepOracle(Oracle):
+    """Scalar and vectorized engines agree exactly, state for state."""
+
+    name = "engine_lockstep"
+
+    def compare(self, scalar: World, vector: World, now: float) -> None:
+        if set(scalar.uavs) != set(vector.uavs):
+            self.record(
+                now, None,
+                f"fleet membership differs: {sorted(scalar.uavs)} vs "
+                f"{sorted(vector.uavs)}",
+            )
+            return
+        for uav_id, uav in scalar.uavs.items():
+            peer = vector.uavs[uav_id]
+            for label, a, b in (
+                ("position", uav.dynamics.position, peer.dynamics.position),
+                ("velocity", uav.dynamics.velocity, peer.dynamics.velocity),
+                ("soc", uav.battery.soc, peer.battery.soc),
+                ("temp_c", uav.battery.temp_c, peer.battery.temp_c),
+                ("mode", uav.mode, peer.mode),
+            ):
+                if a != b:
+                    self.record(
+                        now, uav_id,
+                        f"{label} diverged: scalar={a!r} vectorized={b!r}",
+                    )
+
+
+class GuaranteeSanityOracle(Oracle):
+    """ConSert guarantee traces are well-formed and engine-independent."""
+
+    name = "guarantee_sanity"
+
+    def check(self, scalar_eddis: dict, vector_eddis: dict) -> None:
+        for uav_id, (eddi, _stack) in scalar_eddis.items():
+            trace = eddi.guarantee_trace
+            last_t = None
+            for t, guarantee in trace:
+                if last_t is not None and t < last_t:
+                    self.record(
+                        t, uav_id,
+                        f"guarantee trace time went backwards "
+                        f"({last_t} -> {t})",
+                    )
+                last_t = t
+                if not isinstance(guarantee, UavGuarantee):
+                    self.record(
+                        t, uav_id, f"unknown guarantee {guarantee!r}"
+                    )
+            transitions = sum(
+                1 for prev, cur in zip(trace, trace[1:]) if prev[1] is not cur[1]
+            ) + (1 if trace else 0)
+            if len(eddi.response_log) != transitions:
+                self.record(
+                    None, uav_id,
+                    f"response log has {len(eddi.response_log)} entries for "
+                    f"{transitions} guarantee transitions",
+                )
+            previous = None
+            for response in eddi.response_log:
+                if response.previous is not previous:
+                    self.record(
+                        response.stamp, uav_id,
+                        "response chain broken: expected previous="
+                        f"{previous!r}, got {response.previous!r}",
+                    )
+                if response.guarantee is response.previous:
+                    self.record(
+                        response.stamp, uav_id,
+                        f"self-transition response {response.guarantee!r}",
+                    )
+                previous = response.guarantee
+            peer_eddi, _ = vector_eddis[uav_id]
+            mine = [(t, g.value) for t, g in trace]
+            theirs = [(t, g.value) for t, g in peer_eddi.guarantee_trace]
+            if mine != theirs:
+                self.record(
+                    None, uav_id,
+                    "guarantee traces diverge between engines "
+                    f"({len(mine)} vs {len(theirs)} entries)",
+                )
+
+
+# ----------------------------------------------------------------- reports
+@dataclass
+class OracleReport:
+    """Verdict of one oracle-suite run, JSON-able for manifests."""
+
+    checked: list[str]
+    violations: list[Violation]
+    suppressed: int
+    steps: int
+    horizon_s: float
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def violated_oracles(self) -> list[str]:
+        """Names of the oracles that fired, first-violation order."""
+        seen: list[str] = []
+        for violation in self.violations:
+            if violation.oracle not in seen:
+                seen.append(violation.oracle)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "checked": list(self.checked),
+            "violations": [v.to_dict() for v in self.violations],
+            "suppressed": self.suppressed,
+            "steps": self.steps,
+            "horizon_s": self.horizon_s,
+        }
+
+
+# ------------------------------------------------------------------- chaos
+class _ChaosScript:
+    """Scripted simulator bug from a scenario's ``"chaos"`` block.
+
+    Applied identically to both engines (so ``engine_lockstep`` stays
+    meaningful): ``teleport`` displaces the target by ``magnitude``
+    metres in one step, ``soc_jump`` raises its SoC by ``magnitude``,
+    ``exception`` raises from inside the step loop. ``armed_file``, when
+    set, arms the bug only while that file exists — the "broken engine,
+    then someone fixes it" switch, kept on disk so the scenario JSON
+    (and with it every cache key and fingerprint) is identical before
+    and after the fix.
+    """
+
+    def __init__(self, spec: dict) -> None:
+        self.mode = spec.get("mode")
+        if self.mode not in ("teleport", "soc_jump", "exception"):
+            raise ValueError(f"chaos.mode: unknown mode {self.mode!r}")
+        self.uav = spec.get("uav", "uav1")
+        self.at = float(spec.get("at", 0.0))
+        self.magnitude = float(
+            spec.get("magnitude", 300.0 if self.mode == "teleport" else 0.25)
+        )
+        self.armed_file = spec.get("armed_file")
+        self.fired = False
+
+    def armed(self) -> bool:
+        return self.armed_file is None or Path(self.armed_file).exists()
+
+    def maybe_fire(self, worlds: tuple[World, ...], now: float) -> None:
+        if self.fired or now < self.at or not self.armed():
+            return
+        self.fired = True
+        if self.mode == "exception":
+            raise RuntimeError(
+                f"chaos: injected exception at t={now} (uav {self.uav})"
+            )
+        for world in worlds:
+            uav = world.uavs.get(self.uav)
+            if uav is None:
+                continue
+            if self.mode == "teleport":
+                e, n, u = uav.dynamics.position
+                uav.dynamics.position = (e + self.magnitude, n, u)
+            elif self.mode == "soc_jump":
+                uav.battery.soc = min(1.0, uav.battery.soc + self.magnitude)
+
+
+# ------------------------------------------------------------------ runner
+def scenario_horizon_s(config: dict, horizon_s: float | None = None) -> float:
+    """The simulated horizon for a scenario: argument > config > default."""
+    if horizon_s is not None:
+        return float(horizon_s)
+    return float(config.get("horizon_s", DEFAULT_HORIZON_S))
+
+
+def run_scenario_oracles(
+    config: dict,
+    horizon_s: float | None = None,
+    eddi_period_s: float = DEFAULT_EDDI_PERIOD_S,
+    max_violations: int = 10,
+) -> OracleReport:
+    """Run ``config`` under the full oracle suite; return the verdict.
+
+    The scenario is loaded twice — scalar reference and vectorized
+    engine — and stepped in lockstep to ``horizon_s`` (argument, else
+    the config's ``"horizon_s"``, else :data:`DEFAULT_HORIZON_S`).
+    Every UAV carries the standard Fig. 1 EDDI monitor stack on both
+    worlds, cycled every ``eddi_period_s`` simulated seconds, feeding
+    the ``guarantee_sanity`` oracle. Any exception the simulator raises
+    is the ``no_unhandled_exception`` verdict, not a crash of the
+    harness. Fully deterministic: same config, same report.
+    """
+    scalar: Scenario = load_scenario(config, engine="scalar")
+    vector: Scenario = load_scenario(config, engine="vectorized")
+    horizon = scenario_horizon_s(config, horizon_s)
+    dt = scalar.world.dt
+    steps = max(1, int(round(horizon / dt)))
+    eddi_every = max(1, int(round(eddi_period_s / dt)))
+
+    scalar_eddis = build_fleet_eddis(scalar.world)
+    vector_eddis = build_fleet_eddis(vector.world)
+
+    state_oracles: list[Oracle] = [
+        SocMonotonicOracle(max_violations=max_violations),
+        TeleportBoundOracle(max_violations=max_violations),
+        LandedDriftOracle(max_violations=max_violations),
+    ]
+    lockstep = EngineLockstepOracle(max_violations=max_violations)
+    guarantee = GuaranteeSanityOracle(max_violations=max_violations)
+    exception = Oracle(max_violations=max_violations)
+    exception.name = "no_unhandled_exception"
+
+    chaos = (
+        _ChaosScript(config["chaos"])
+        if isinstance(config.get("chaos"), dict)
+        else None
+    )
+
+    completed = 0
+    try:
+        # Prime the per-UAV baselines at t=0 so the first step is checked.
+        for oracle in state_oracles:
+            oracle.observe(vector.world, 0.0)
+        for _ in range(steps):
+            now = scalar.step()
+            vector.step()
+            if chaos is not None:
+                chaos.maybe_fire((scalar.world, vector.world), now)
+            for oracle in state_oracles:
+                oracle.observe(vector.world, now)
+            lockstep.compare(scalar.world, vector.world, now)
+            completed += 1
+            if completed % eddi_every == 0:
+                for uav_id in scalar_eddis:
+                    scalar_eddis[uav_id][0].step(now)
+                    vector_eddis[uav_id][0].step(now)
+    except Exception as exc:
+        frame = traceback.extract_tb(exc.__traceback__)[-1]
+        exception.record(
+            scalar.world.time, None,
+            f"{type(exc).__name__}: {exc} "
+            f"(at {Path(frame.filename).name}:{frame.lineno})",
+        )
+    guarantee.check(scalar_eddis, vector_eddis)
+
+    all_oracles = [*state_oracles, lockstep, guarantee, exception]
+    violations: list[Violation] = []
+    for oracle in all_oracles:
+        violations.extend(oracle.violations)
+    return OracleReport(
+        checked=[oracle.name for oracle in all_oracles],
+        violations=violations,
+        suppressed=sum(oracle.suppressed for oracle in all_oracles),
+        steps=completed,
+        horizon_s=horizon,
+    )

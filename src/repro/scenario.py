@@ -18,7 +18,8 @@ Schema (all sections optional except ``uavs``)::
       "persons": 8,
       "uavs": [
         {"id": "uav1", "base": [30, -20, 0], "rotors": 4,
-         "max_speed_mps": 10},
+         "max_speed_mps": 10,
+         "mission": [[120, 80, 25], [260, 140, 25]]},
         ...
       ],
       "faults": [
@@ -30,13 +31,30 @@ Schema (all sections optional except ``uavs``)::
         {"type": "camera_degradation", "uav": "uav1", "at": 10,
          "rate": 0.02},
         {"type": "imu_failure", "uav": "uav2", "at": 80},
-        {"type": "motor_failure", "uav": "uav1", "at": 120}
+        {"type": "motor_failure", "uav": "uav1", "at": 120},
+        {"type": "comm_blackout", "uav": "uav2", "at": 40, "duration": 20},
+        {"type": "comm_degradation", "uav": "uav1", "at": 30,
+         "loss": 0.5, "duration": 25},
+        {"type": "network_partition", "group_a": ["uav1"],
+         "group_b": ["uav2", "uav3"], "at": 50, "duration": 30}
       ],
       "attacks": [
         {"type": "ros_spoofing", "topic": "/uav1/pose", "sender": "uav1",
          "start": 60, "stop": 180, "rate_hz": 5}
-      ]
+      ],
+      "comms": {"seed": 11}   # force a DegradedBus transport
     }
+
+A ``"mission"`` entry preloads a waypoint plan (the UAV takes off in
+MISSION mode at t=0). The comm fault types need a
+:class:`~repro.middleware.degraded.DegradedBus` transport; the loader
+builds one automatically when any comm fault (or an explicit ``"comms"``
+section) is present, seeded from the scenario seed (or
+``comms["seed"]``). The ``"description"``, ``"horizon_s"``, and
+``"chaos"`` keys are ignored by the loader — they carry provenance and
+fuzzing metadata for :mod:`repro.harness.oracles` /
+:mod:`repro.harness.fuzz` — but are schema-checked by
+:func:`lint_scenario` (the ``python -m repro scenario validate`` CLI).
 """
 
 from __future__ import annotations
@@ -49,19 +67,27 @@ import numpy as np
 
 from repro.geo import EnuFrame, GeoPoint
 from repro.middleware.attacks import SpoofingAttack
+from repro.middleware.degraded import DegradedBus
 from repro.uav.battery import BatterySpec
 from repro.uav.environment import Environment, GustProcess
 from repro.uav.faults import (
     FaultSchedule,
     battery_collapse,
     camera_degradation,
+    comm_blackout,
+    comm_degradation,
     gps_denial,
     gps_spoof,
     imu_failure,
     motor_failure,
+    network_partition,
 )
 from repro.uav.uav import Uav, UavSpec
 from repro.uav.world import ENGINES, World
+
+#: Fault types that act on the transport rather than a vehicle; their
+#: presence makes the loader build a :class:`DegradedBus`.
+COMM_FAULT_TYPES = ("comm_blackout", "comm_degradation", "network_partition")
 
 
 class ScenarioError(ValueError):
@@ -118,13 +144,75 @@ class Scenario:
                 callback(self)
 
 
-def _build_fault(spec: dict[str, Any], index: int):
+def _partition_group(
+    value: Any, uav_ids: set[str], field_name: str
+) -> tuple[str, ...]:
+    """Coerce one partition side: a non-empty list of known UAV ids."""
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ScenarioError(
+            f"{field_name}: expected a non-empty list of uav ids, got {value!r}"
+        )
+    for i, member in enumerate(value):
+        if member not in uav_ids:
+            raise ScenarioError(
+                f"{field_name}[{i}]: partition names unknown uav {member!r}"
+            )
+    return tuple(value)
+
+
+def _build_fault(
+    spec: dict[str, Any],
+    index: int,
+    bus: DegradedBus | None,
+    uav_ids: set[str],
+):
     where = f"faults[{index}]"
     kind = spec.get("type")
+    if kind in COMM_FAULT_TYPES and bus is None:
+        raise ScenarioError(  # pragma: no cover — loader always builds one
+            f"{where}: comm fault {kind!r} needs a DegradedBus transport"
+        )
+    if kind == "network_partition":
+        # Partitions split the fleet; they have groups, not a single target.
+        if spec.get("at") is None:
+            raise ScenarioError(f"{where}: fault needs type/at: {spec!r}")
+        at = _number(spec["at"], f"{where}.at")
+        group_a = _partition_group(spec.get("group_a"), uav_ids, f"{where}.group_a")
+        group_b = _partition_group(spec.get("group_b"), uav_ids, f"{where}.group_b")
+        overlap = set(group_a) & set(group_b)
+        if overlap:
+            raise ScenarioError(
+                f"{where}.group_b: partition groups overlap on "
+                f"{sorted(overlap)!r}"
+            )
+        duration = spec.get("duration")
+        return network_partition(
+            bus, group_a, group_b, at,
+            _number(duration, f"{where}.duration") if duration is not None
+            else None,
+        )
     uav = spec.get("uav")
     if kind is None or uav is None or spec.get("at") is None:
         raise ScenarioError(f"{where}: fault needs type/uav/at: {spec!r}")
     at = _number(spec["at"], f"{where}.at")
+    if kind == "comm_blackout":
+        if spec.get("duration") is None:
+            raise ScenarioError(f"{where}.duration: comm_blackout needs one")
+        return comm_blackout(
+            bus, uav, at, _number(spec["duration"], f"{where}.duration")
+        )
+    if kind == "comm_degradation":
+        duration = spec.get("duration")
+        loss = _number(spec.get("loss", 0.5), f"{where}.loss")
+        if not 0.0 <= loss <= 1.0:
+            raise ScenarioError(
+                f"{where}.loss: must be in [0, 1], got {loss!r}"
+            )
+        return comm_degradation(
+            bus, uav, at, loss,
+            _number(duration, f"{where}.duration") if duration is not None
+            else None,
+        )
     if kind == "battery_collapse":
         return battery_collapse(
             uav, at, _number(spec.get("soc_drop_to", 0.4), f"{where}.soc_drop_to")
@@ -171,12 +259,35 @@ def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario
         raise ScenarioError(
             f"engine: expected one of {ENGINES}, got {engine!r}"
         )
+
+    # Comm faults act on the transport, so they force a DegradedBus; an
+    # explicit "comms" section does too (e.g. to pin its loss-draw seed).
+    comms_config = config.get("comms")
+    fault_specs = config.get("faults", ())
+    if not isinstance(fault_specs, (list, tuple)):
+        raise ScenarioError(
+            f"faults: expected a list of fault objects, got {fault_specs!r}"
+        )
+    needs_degraded = comms_config is not None or any(
+        isinstance(spec, dict) and spec.get("type") in COMM_FAULT_TYPES
+        for spec in fault_specs
+    )
+    degraded_bus: DegradedBus | None = None
+    bus_kwargs = {}
+    if needs_degraded:
+        comm_seed = _integer(
+            (comms_config or {}).get("seed", seed + 3), "comms.seed"
+        )
+        degraded_bus = DegradedBus(rng=np.random.default_rng(comm_seed))
+        bus_kwargs["bus"] = degraded_bus
+
     world = World(
         frame=EnuFrame(origin=GeoPoint(35.1456, 33.4299, 0.0)),
         rng=rng,
         area_size_m=(area[0], area[1]),
         dt=dt,
         engine=engine,
+        **bus_kwargs,
     )
 
     env_config = config.get("environment")
@@ -229,14 +340,27 @@ def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario
                 uav_config["max_speed_mps"], f"{where}.max_speed_mps"
             )
         world.add_uav(uav)
+        mission = uav_config.get("mission")
+        if mission is not None:
+            if not isinstance(mission, (list, tuple)) or not mission:
+                raise ScenarioError(
+                    f"{where}.mission: expected a non-empty waypoint list, "
+                    f"got {mission!r}"
+                )
+            uav.start_mission(
+                [
+                    _vector(wp, 3, f"{where}.mission[{i}]")
+                    for i, wp in enumerate(mission)
+                ]
+            )
 
     n_persons = _integer(config.get("persons", 0), "persons")
     if n_persons:
         world.scatter_persons(n_persons)
 
     faults = FaultSchedule()
-    for index, fault_spec in enumerate(config.get("faults", ())):
-        fault = _build_fault(fault_spec, index)
+    for index, fault_spec in enumerate(fault_specs):
+        fault = _build_fault(fault_spec, index, degraded_bus, seen_ids)
         if fault.target_uav not in world.uavs:
             raise ScenarioError(
                 f"faults[{index}].uav: fault targets unknown uav "
@@ -248,6 +372,11 @@ def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario
         where = f"attacks[{index}]"
         if attack_spec.get("type") != "ros_spoofing":
             raise ScenarioError(f"{where}.type: unknown attack type {attack_spec!r}")
+        sender = attack_spec.get("sender", "uav1")
+        if sender not in world.uavs:
+            raise ScenarioError(
+                f"{where}.sender: attack impersonates unknown uav {sender!r}"
+            )
         world.add_attacker(
             SpoofingAttack(
                 bus=world.bus,
@@ -257,7 +386,7 @@ def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario
                 ),
                 name=attack_spec.get("name", "adversary"),
                 topic=attack_spec.get("topic", "/uav1/pose"),
-                spoofed_sender=attack_spec.get("sender", "uav1"),
+                spoofed_sender=sender,
                 payload_fn=lambda now: {"forged": True, "t": now},
                 rate_hz=_number(
                     attack_spec.get("rate_hz", 5.0), f"{where}.rate_hz"
@@ -277,3 +406,108 @@ def load_scenario_json(text: str, engine: str | None = None) -> Scenario:
     if not isinstance(config, dict):
         raise ScenarioError("scenario JSON must be an object")
     return load_scenario(config, engine=engine)
+
+
+# ------------------------------------------------------------------ linting
+#: Key vocabulary per schema section. ``load_scenario`` ignores unknown
+#: keys (forward compatibility); the linter flags them, because in a
+#: hand-edited file an unknown key is almost always a typo'd known one.
+_KNOWN_TOP_KEYS = frozenset(
+    {
+        "description", "seed", "area_size_m", "dt", "engine", "environment",
+        "persons", "uavs", "faults", "attacks", "comms", "horizon_s", "chaos",
+    }
+)
+_KNOWN_ENV_KEYS = frozenset(
+    {"wind_mean_mps", "wind_direction_deg", "ambient_c", "visibility"}
+)
+_KNOWN_UAV_KEYS = frozenset({"id", "base", "rotors", "max_speed_mps", "mission"})
+_KNOWN_FAULT_KEYS: dict[str, frozenset[str]] = {
+    "battery_collapse": frozenset({"type", "uav", "at", "soc_drop_to"}),
+    "gps_denial": frozenset({"type", "uav", "at", "duration"}),
+    "gps_spoof": frozenset({"type", "uav", "at", "offset"}),
+    "camera_degradation": frozenset({"type", "uav", "at", "rate"}),
+    "imu_failure": frozenset({"type", "uav", "at"}),
+    "motor_failure": frozenset({"type", "uav", "at"}),
+    "comm_blackout": frozenset({"type", "uav", "at", "duration"}),
+    "comm_degradation": frozenset({"type", "uav", "at", "loss", "duration"}),
+    "network_partition": frozenset(
+        {"type", "at", "duration", "group_a", "group_b"}
+    ),
+}
+_KNOWN_ATTACK_KEYS = frozenset(
+    {"type", "topic", "sender", "start", "stop", "rate_hz", "name"}
+)
+_KNOWN_COMMS_KEYS = frozenset({"seed"})
+_KNOWN_CHAOS_KEYS = frozenset({"mode", "uav", "at", "magnitude", "armed_file"})
+_CHAOS_MODES = ("teleport", "soc_jump", "exception")
+
+
+def _lint_unknown_keys(
+    section: Any, known: frozenset[str], where: str, problems: list[str]
+) -> None:
+    if not isinstance(section, dict):
+        return  # the loader reports the type error with more context
+    for key in sorted(set(section) - known):
+        problems.append(f"{where}.{key}: unknown key (known: {sorted(known)})")
+
+
+def lint_scenario(config: Any) -> list[str]:
+    """Lint a scenario config; returns a list of problems (empty = clean).
+
+    Two layers: every :class:`ScenarioError` the loader itself raises
+    (the config is actually built, so this catches everything the loader
+    validates — duplicate ids, unknown fault targets, malformed vectors),
+    plus schema checks the loader deliberately skips: unknown keys in any
+    section, unknown chaos modes, and a non-positive fuzzing horizon.
+    Backs ``python -m repro scenario validate`` — the pre-flight check
+    for hand-edited and fuzz-minimized scenario files alike.
+    """
+    if not isinstance(config, dict):
+        return [f"scenario must be a JSON object, got {type(config).__name__}"]
+    problems: list[str] = []
+    _lint_unknown_keys(config, _KNOWN_TOP_KEYS, "scenario", problems)
+    _lint_unknown_keys(
+        config.get("environment"), _KNOWN_ENV_KEYS, "environment", problems
+    )
+    _lint_unknown_keys(config.get("comms"), _KNOWN_COMMS_KEYS, "comms", problems)
+    uavs = config.get("uavs")
+    if isinstance(uavs, (list, tuple)):
+        for i, uav in enumerate(uavs):
+            _lint_unknown_keys(uav, _KNOWN_UAV_KEYS, f"uavs[{i}]", problems)
+    faults = config.get("faults")
+    if isinstance(faults, (list, tuple)):
+        for i, fault in enumerate(faults):
+            if not isinstance(fault, dict):
+                continue
+            known = _KNOWN_FAULT_KEYS.get(fault.get("type"))
+            if known is not None:
+                _lint_unknown_keys(fault, known, f"faults[{i}]", problems)
+    attacks = config.get("attacks")
+    if isinstance(attacks, (list, tuple)):
+        for i, attack in enumerate(attacks):
+            _lint_unknown_keys(
+                attack, _KNOWN_ATTACK_KEYS, f"attacks[{i}]", problems
+            )
+    chaos = config.get("chaos")
+    if chaos is not None:
+        _lint_unknown_keys(chaos, _KNOWN_CHAOS_KEYS, "chaos", problems)
+        if isinstance(chaos, dict) and chaos.get("mode") not in _CHAOS_MODES:
+            problems.append(
+                f"chaos.mode: expected one of {_CHAOS_MODES}, "
+                f"got {chaos.get('mode')!r}"
+            )
+    horizon = config.get("horizon_s")
+    if horizon is not None:
+        try:
+            if float(horizon) <= 0:
+                problems.append(
+                    f"horizon_s: must be positive, got {horizon!r}"
+                )
+        except (TypeError, ValueError):
+            problems.append(f"horizon_s: expected a number, got {horizon!r}")
+    try:
+        load_scenario(config)
+    except ScenarioError as exc:
+        problems.append(str(exc))
+    return problems

@@ -15,6 +15,10 @@ time; the point here is that masking, batched clamps, and in-step mode
 transitions in :mod:`repro.uav.fleet` preserve them for arbitrary fleet
 shapes — including the single-UAV and power-of-two sizes that stress the
 chunked noise buffers.
+
+The predicates themselves live in :mod:`repro.harness.oracles`, shared
+with the fuzzing campaign so the tests and the fuzzer enforce one
+implementation of each invariant.
 """
 
 from __future__ import annotations
@@ -25,6 +29,12 @@ import numpy as np
 import pytest
 
 from repro.experiments.common import build_three_uav_world
+from repro.harness.oracles import (
+    landed_step_ok,
+    soc_step_ok,
+    teleport_bound_m,
+    teleport_step_ok,
+)
 from repro.uav.faults import (
     FaultSchedule,
     battery_collapse,
@@ -95,23 +105,24 @@ def test_random_fleet_invariants(trial):
         faults.step(now, world.uavs)
         for uav_id, uav in world.uavs.items():
             soc = uav.battery.soc
-            assert soc <= prev_soc[uav_id] + 1e-15, (
+            assert soc_step_ok(prev_soc[uav_id], soc), (
                 f"trial {trial} {uav_id} t={now}: SoC rose "
                 f"{prev_soc[uav_id]} -> {soc}"
             )
             prev_soc[uav_id] = soc
 
             pos = uav.dynamics.position
-            moved = math.dist(pos, prev_pos[uav_id])
-            bound = uav.dynamics.max_speed_mps * world.dt
-            assert moved <= bound * (1.0 + 1e-12) + 1e-12, (
-                f"trial {trial} {uav_id} t={now}: teleported {moved:.6f} m "
-                f"in one step (bound {bound:.6f} m)"
+            assert teleport_step_ok(
+                prev_pos[uav_id], pos, uav.dynamics.max_speed_mps, world.dt
+            ), (
+                f"trial {trial} {uav_id} t={now}: teleported "
+                f"{math.dist(pos, prev_pos[uav_id]):.6f} m in one step "
+                f"(bound {teleport_bound_m(uav.dynamics.max_speed_mps, world.dt):.6f} m)"
             )
             prev_pos[uav_id] = pos
 
             if uav_id in landed_at:
-                assert pos == landed_at[uav_id], (
+                assert landed_step_ok(landed_at[uav_id], pos), (
                     f"trial {trial} {uav_id} t={now}: drifted after landing"
                 )
             elif uav.mode is FlightMode.LANDED:

@@ -100,6 +100,62 @@ class TestCacheKeys:
         (tmp_path / "exp" / "stray.txt").write_text("ignored")
         assert cache.count("exp") == 2
 
+    def test_put_fsyncs_before_publishing(self, tmp_path, monkeypatch):
+        # Checkpoint durability: the record's bytes must be fsynced
+        # before the rename publishes the file, so a SIGKILL right after
+        # `put` returns can't leave a truncated record at the final
+        # path. Observe the ordering by instrumenting both syscalls.
+        import os as os_module
+
+        calls = []
+        real_fsync, real_replace = os_module.fsync, os_module.replace
+        monkeypatch.setattr(
+            "repro.harness.cache.os.fsync",
+            lambda fd: (calls.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            "repro.harness.cache.os.replace",
+            lambda a, b: (calls.append("replace"), real_replace(a, b))[1],
+        )
+        cache = ResultCache(tmp_path)
+        cache.put("exp", "k1", full_record(index=0))
+        assert calls == ["fsync", "replace"]
+        assert cache.get("exp", "k1") == full_record(index=0)
+
+    def test_torn_write_is_evicted_not_fatal(self, tmp_path):
+        # A truncated record at the *final* path (torn write from a
+        # pre-fsync crash, or a copy interrupted mid-transfer) must read
+        # as an evicted miss; the next put then heals the entry.
+        cache = ResultCache(tmp_path)
+        record = full_record(index=0, result={"v": 2.0})
+        cache.put("exp", "k1", record)
+        path = tmp_path / "exp" / "k1.json"
+        torn = path.read_text()[: len(path.read_text()) // 2]
+        path.write_text(torn)
+        assert cache.get("exp", "k1") is None
+        assert not path.exists()
+        cache.put("exp", "k1", record)
+        assert cache.get("exp", "k1") == record
+
+    def test_interrupted_put_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        # A crash *during* put (here: fsync raising) must not leave the
+        # temp file behind to be mistaken for cache content later.
+        cache = ResultCache(tmp_path)
+        cache.put("exp", "k0", full_record(index=0))  # create the dir
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr("repro.harness.cache.os.fsync", boom)
+        with pytest.raises(OSError):
+            cache.put("exp", "k1", full_record(index=1))
+        leftovers = [
+            p.name for p in (tmp_path / "exp").iterdir()
+            if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+        assert cache.get("exp", "k1") is None
+
 
 class TestPhaseTimer:
     def test_phases_accumulate(self):
@@ -150,7 +206,7 @@ class TestRunCampaign:
             "synthetic", grid="smoke", root_seed=4, manifest_path=path
         )
         on_disk = read_manifest(path)
-        assert on_disk["schema_version"] == 2
+        assert on_disk["schema_version"] == 3
         assert manifest_fingerprint(on_disk) == result.fingerprint
         sample = on_disk["samples"][0]
         assert {"index", "seed", "config", "result", "wall_time_s", "worker",

@@ -1,0 +1,160 @@
+"""The property-oracle suite: predicates, runner, chaos detection.
+
+The oracles are the fuzzer's ground truth, so they get tested from both
+sides: clean scenarios (including every archived ``scenarios/*.json``)
+must pass all oracles, and each scripted chaos mode must trip exactly
+the oracle built to catch it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.oracles import (
+    Violation,
+    landed_step_ok,
+    run_scenario_oracles,
+    soc_step_ok,
+    teleport_bound_m,
+    teleport_step_ok,
+)
+
+SCENARIOS = sorted(
+    (Path(__file__).resolve().parent.parent / "scenarios").glob("*.json")
+)
+
+BASE = {
+    "seed": 7,
+    "dt": 0.5,
+    "uavs": [
+        {"id": "uav1", "base": [10, 10, 0],
+         "mission": [[200, 200, 30], [50, 250, 25]]},
+        {"id": "uav2", "base": [30, 10, 0], "mission": [[250, 60, 20]]},
+    ],
+    "horizon_s": 30.0,
+}
+
+
+def _base(**overrides):
+    config = json.loads(json.dumps(BASE))
+    config.update(overrides)
+    return config
+
+
+class TestPredicates:
+    def test_soc_monotonic(self):
+        assert soc_step_ok(0.8, 0.79)
+        assert soc_step_ok(0.8, 0.8)
+        assert soc_step_ok(0.8, 0.8 + 1e-16)  # within float slack
+        assert not soc_step_ok(0.8, 0.81)
+
+    def test_teleport_bound(self):
+        assert teleport_step_ok((0, 0, 0), (5, 0, 0), v_max=10.0, dt=0.5)
+        assert not teleport_step_ok((0, 0, 0), (5.1, 0, 0), v_max=10.0, dt=0.5)
+
+    def test_teleport_bound_includes_wind_drift(self):
+        # 15% of a 10 m/s wind is unrejected: the true ground-speed
+        # bound in wind is (v_max + drift) * dt.
+        assert not teleport_step_ok((0, 0, 0), (5.5, 0, 0), 10.0, 0.5)
+        assert teleport_step_ok((0, 0, 0), (5.5, 0, 0), 10.0, 0.5,
+                                drift_mps=1.5)
+        assert teleport_bound_m(10.0, 0.5, drift_mps=1.5) == pytest.approx(
+            5.75, rel=1e-9
+        )
+
+    def test_landed_exact_equality(self):
+        assert landed_step_ok((1.0, 2.0, 0.0), (1.0, 2.0, 0.0))
+        assert not landed_step_ok((1.0, 2.0, 0.0), (1.0 + 1e-12, 2.0, 0.0))
+
+    def test_violation_round_trips(self):
+        violation = Violation("teleport_bound", 3.5, "uav1", "jumped")
+        assert violation.to_dict() == {
+            "oracle": "teleport_bound", "time": 3.5,
+            "uav": "uav1", "message": "jumped",
+        }
+
+
+class TestCleanScenariosPass:
+    @pytest.mark.parametrize(
+        "path", SCENARIOS, ids=[p.stem for p in SCENARIOS]
+    )
+    def test_archived_scenarios_pass_all_oracles(self, path):
+        report = run_scenario_oracles(
+            json.loads(path.read_text()), horizon_s=12.0
+        )
+        assert report.passed, [v.to_dict() for v in report.violations]
+        assert set(report.checked) == {
+            "soc_monotonic", "teleport_bound", "landed_drift",
+            "engine_lockstep", "guarantee_sanity", "no_unhandled_exception",
+        }
+
+    def test_report_shape_and_determinism(self):
+        first = run_scenario_oracles(_base())
+        second = run_scenario_oracles(_base())
+        assert first.to_dict() == second.to_dict()
+        assert first.passed
+        assert first.steps == 60  # 30 s at dt=0.5
+        assert first.horizon_s == 30.0
+
+    def test_horizon_argument_overrides_config(self):
+        report = run_scenario_oracles(_base(), horizon_s=5.0)
+        assert report.steps == 10
+
+    def test_windy_mission_passes_teleport_oracle(self):
+        # Regression: wind drift moves UAVs beyond v_max*dt; the oracle
+        # must use the drift-aware bound, not flag physics as a bug.
+        config = _base(environment={"wind_mean_mps": 11.0,
+                                    "wind_direction_deg": 45.0})
+        report = run_scenario_oracles(config)
+        assert report.passed, [v.to_dict() for v in report.violations]
+
+
+class TestChaosDetection:
+    """Each scripted engine bug trips exactly its oracle."""
+
+    @pytest.mark.parametrize(
+        "mode, oracle",
+        [
+            ("teleport", "teleport_bound"),
+            ("soc_jump", "soc_monotonic"),
+            ("exception", "no_unhandled_exception"),
+        ],
+    )
+    def test_chaos_mode_trips_its_oracle(self, mode, oracle):
+        config = _base(chaos={"mode": mode, "uav": "uav1", "at": 10.0})
+        report = run_scenario_oracles(config)
+        assert not report.passed
+        assert oracle in report.violated_oracles
+        violation = report.violations[0]
+        assert violation.oracle == oracle
+        assert violation.time == pytest.approx(10.0)
+
+    def test_chaos_armed_file_gates_the_bug(self, tmp_path):
+        armed = tmp_path / "armed"
+        config = _base(
+            chaos={"mode": "teleport", "uav": "uav1", "at": 10.0,
+                   "armed_file": str(armed)}
+        )
+        assert run_scenario_oracles(config).passed  # file absent: disarmed
+        armed.touch()
+        assert not run_scenario_oracles(config).passed
+
+    def test_unknown_chaos_mode_rejected(self):
+        config = _base(chaos={"mode": "warp", "at": 1.0})
+        with pytest.raises(ValueError, match="chaos.mode"):
+            run_scenario_oracles(config)
+
+    def test_violation_flood_is_capped(self):
+        # A bug that fires every step must not produce an unbounded
+        # report: each oracle caps its recorded violations and counts
+        # the overflow instead.
+        from repro.harness.oracles import Oracle
+
+        oracle = Oracle(max_violations=10)
+        for step in range(25):
+            oracle.record(float(step), "uav1", "boom")
+        assert len(oracle.violations) == 10
+        assert oracle.suppressed == 15

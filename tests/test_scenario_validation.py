@@ -101,6 +101,29 @@ class TestErrorsNameTheOffendingField:
              "attacks[0].rate_hz"),
             (_mutated(attacks=[{"type": "ros_spoofing", "start": "dawn"}]),
              "attacks[0].start"),
+            (_mutated(attacks=[{"type": "ros_spoofing", "sender": "ghost"}]),
+             "attacks[0].sender"),
+            (_mutated(uavs=[{"id": "u", "mission": []}]),
+             "uavs[0] (u).mission"),
+            (_mutated(uavs=[{"id": "u", "mission": [[1, 2]]}]),
+             "uavs[0] (u).mission[0]"),
+            (_mutated(faults=[{"type": "comm_blackout", "uav": "uav1",
+                               "at": 1.0}]), "faults[0].duration"),
+            (_mutated(faults=[{"type": "comm_blackout", "uav": "ghost",
+                               "at": 1.0, "duration": 5}]), "faults[0].uav"),
+            (_mutated(faults=[{"type": "comm_degradation", "uav": "uav1",
+                               "at": 1.0, "loss": 1.5}]), "faults[0].loss"),
+            (_mutated(faults=[{"type": "network_partition", "at": 1.0,
+                               "group_a": [], "group_b": ["uav1"]}]),
+             "faults[0].group_a"),
+            (_mutated(faults=[{"type": "network_partition", "at": 1.0,
+                               "group_a": ["uav1"], "group_b": ["ghost"]}]),
+             "faults[0].group_b"),
+            (_mutated(uavs=[{"id": "a", "base": [0, 0, 0]},
+                            {"id": "b", "base": [5, 0, 0]}],
+                      faults=[{"type": "network_partition", "at": 1.0,
+                               "group_a": ["a", "b"], "group_b": ["b"]}]),
+             "faults[0].group_b"),
         ],
         ids=lambda v: v if isinstance(v, str) else None,
     )
@@ -118,6 +141,38 @@ class TestErrorsNameTheOffendingField:
         )
         with pytest.raises(ScenarioError, match=r"faults\[1\]\.at"):
             load_scenario(config)
+
+    def test_comm_faults_build_a_degraded_bus(self):
+        from repro.middleware.degraded import DegradedBus
+
+        scenario = load_scenario(
+            _mutated(
+                uavs=[{"id": "a", "base": [0, 0, 0]},
+                      {"id": "b", "base": [5, 0, 0]}],
+                faults=[
+                    {"type": "comm_blackout", "uav": "a", "at": 1.0,
+                     "duration": 2.0},
+                    {"type": "network_partition", "at": 2.0,
+                     "group_a": ["a"], "group_b": ["b"], "duration": 1.0},
+                ],
+            )
+        )
+        assert isinstance(scenario.world.bus, DegradedBus)
+        scenario.run_until(4.0)
+
+    def test_lint_flags_unknown_keys_without_raising(self):
+        from repro.scenario import lint_scenario
+
+        problems = lint_scenario(
+            _mutated(fautls=[], chaos={"mode": "warp"})
+        )
+        assert any("fautls" in p for p in problems)
+        assert any("chaos.mode" in p for p in problems)
+
+    def test_lint_clean_scenario_reports_nothing(self):
+        from repro.scenario import lint_scenario
+
+        assert lint_scenario(_mutated()) == []
 
     def test_valid_config_still_loads_after_hardening(self):
         scenario = load_scenario(
