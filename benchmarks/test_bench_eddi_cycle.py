@@ -24,11 +24,15 @@ def make_running_fleet():
         decider.add_uav(stack.network)
     for uav in world.uavs.values():
         uav.start_mission([(200.0, 250.0, 20.0), (100.0, 20.0, 20.0)] * 5)
-    # Warm up so monitors have state.
+    # Warm up the FULL measured cycle, decider included: decide() walks
+    # every UAV's ConSert network and appends to the decision history, so
+    # a warm-up that skips it would time first-call effects (lazy network
+    # evaluation, list growth) inside the measured window.
     for _ in range(10):
         world.step()
         for eddi, _ in fleet.values():
             eddi.step(world.time)
+        decider.decide()
     return world, fleet, decider
 
 

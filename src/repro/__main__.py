@@ -263,6 +263,7 @@ def _run_campaign_cli(args: argparse.Namespace) -> int:
             trace_path=args.trace,
             policy=policy,
             resume=args.resume,
+            batch=args.batch,
         )
     except CampaignAborted as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
@@ -443,6 +444,13 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument(
         "--resume", action="store_true",
         help="re-run only failed or missing grid points against the cache",
+    )
+    campaign.add_argument(
+        "--batch", action="store_true",
+        help=(
+            "run pending samples as stacked batches (experiments with a "
+            "sample-axis batch hook; bit-identical results and fingerprint)"
+        ),
     )
     campaign.add_argument(
         "--timeout", type=float, default=None, metavar="S",

@@ -105,15 +105,90 @@ def run_fleet_scale_point(
     )
 
 
+def run_assurance_scale_point(
+    n_uavs: int,
+    seed: int = 21,
+    engine: str = "vectorized",
+    max_time_s: float = 60.0,
+    eddi_period_s: float = 2.0,
+    n_persons: int = 8,
+) -> dict:
+    """Fly a coverage mission with the assurance plane cycling alongside.
+
+    The plain fleet-scale point measures coverage only; this variant
+    additionally runs the full assurance plane (:func:`build_assurance`:
+    SafeDrones, spoof/link monitors, ConSert evaluation, mission
+    decider) at the 2 Hz EDDI rate, so a campaign over it exercises the
+    batched plane end to end at fleet scale and records its per-cycle
+    cost in the manifest.
+    """
+    from repro.core.batch import build_assurance
+
+    scenario = build_three_uav_world(
+        seed=seed, n_persons=n_persons, n_uavs=n_uavs, engine=engine
+    )
+    world = scenario.world
+    mission = SarMission(world=world)
+    mission.assign_paths()
+    plane = build_assurance(world)
+    cycle_every = max(1, int(round(eddi_period_s / world.dt)))
+    verdicts: list[str] = []
+    assurance_wall = 0.0
+    steps = 0
+    start = time.perf_counter()
+    while not mission.mission_complete and world.time < max_time_s:
+        mission.step()
+        steps += 1
+        if steps % cycle_every == 0:
+            cycle_start = time.perf_counter()
+            plane.step(world.time)
+            verdicts.append(plane.decide().verdict.name)
+            assurance_wall += time.perf_counter() - cycle_start
+    wall = time.perf_counter() - start
+    metrics = mission.metrics
+    transitions = sum(
+        len(plane.response_log(uav_id)) for uav_id in plane.uav_ids
+    )
+    return {
+        "seed": seed,
+        "n_uavs": n_uavs,
+        "engine": engine,
+        "coverage_fraction": metrics.coverage_fraction,
+        "duration_s": metrics.duration_s,
+        "sim_time_s": world.time,
+        "persons_found": metrics.persons_found,
+        "persons_total": metrics.persons_total,
+        "wall_s": wall,
+        "assurance_engine": plane.engine,
+        "assurance_cycles": len(verdicts),
+        "assurance_cycle_ms": round(
+            1e3 * assurance_wall / max(1, len(verdicts)), 3
+        ),
+        "final_verdict": verdicts[-1] if verdicts else None,
+        "guarantee_transitions": transitions,
+    }
+
+
 def fleet_scale_sample(config: dict, seed: int, timer: PhaseTimer) -> dict:
     """One campaign sample: a coverage mission at one fleet size.
 
     ``config`` may pin an explicit ``seed`` (the sweep flies every fleet
     size over the same person field so the fleet-size axis is the only
     thing that varies); otherwise the harness-assigned stream seed is
-    used.
+    used. With ``assurance: true`` the sample also cycles the full
+    assurance plane (scalar or batched, following ``engine``) and
+    reports its cost alongside the coverage numbers.
     """
     run_seed = int(config.get("seed", seed))
+    if config.get("assurance"):
+        with timer.phase("simulate"):
+            return run_assurance_scale_point(
+                n_uavs=int(config["n_uavs"]),
+                seed=run_seed,
+                engine=str(config.get("engine", "vectorized")),
+                max_time_s=float(config.get("max_time_s", 60.0)),
+                eddi_period_s=float(config.get("eddi_period_s", 2.0)),
+            )
     with timer.phase("simulate"):
         point = run_fleet_scale_point(
             n_uavs=int(config["n_uavs"]),
@@ -142,6 +217,15 @@ def fleet_scale_grid(preset: str) -> list[dict]:
         return [
             {"n_uavs": 3, "engine": "vectorized", "max_time_s": 120.0},
             {"n_uavs": 50, "engine": "vectorized", "max_time_s": 120.0},
+        ]
+    if preset == "assurance-smoke":
+        # CI-sized: cycle the batched assurance plane over a 50-UAV
+        # vectorized fleet (plus the 3-UAV anchor) end to end.
+        return [
+            {"n_uavs": 3, "engine": "vectorized", "max_time_s": 30.0,
+             "assurance": True},
+            {"n_uavs": 50, "engine": "vectorized", "max_time_s": 30.0,
+             "assurance": True},
         ]
     if preset == "default":
         return [

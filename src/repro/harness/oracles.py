@@ -28,6 +28,12 @@ scenario config under the full oracle suite:
     never decrease, every entry is a known guarantee, the response log
     records exactly the transitions (no phantom or missed responses),
     and both engines produce identical guarantee traces.
+``assurance_lockstep``
+    The scalar assurance plane (per-UAV EDDI stacks + MissionDecider)
+    and the batched plane (:mod:`repro.core.batch`) agree exactly —
+    every cycle's guarantees, ConSert offers, runtime evidence, and
+    mission verdict, plus the full traces at the end of the run (the
+    assurance-plane analogue of ``engine_lockstep``).
 ``no_unhandled_exception``
     The run completes without the simulator raising.
 
@@ -45,8 +51,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.core.adapters import build_fleet_eddis
+from repro.core.batch import build_assurance
 from repro.core.uav_network import UavGuarantee
+from repro.safedrones.monitor import ReliabilityLevel
 from repro.scenario import Scenario, load_scenario
 from repro.uav.uav import FlightMode
 from repro.uav.world import World
@@ -94,6 +101,54 @@ def landed_step_ok(
 ) -> bool:
     """Whether a landed UAV is still exactly at its touchdown point."""
     return pos == landed_pos
+
+
+#: UavGuarantee declaration order is severity order: 0 = best offer
+#: (continue with extra tasks), 4 = worst (emergency land).
+GUARANTEE_RANK = {guarantee: i for i, guarantee in enumerate(UavGuarantee)}
+#: Same for the SafeDrones reliability vocabulary: HIGH=0, MEDIUM=1, LOW=2.
+RELIABILITY_RANK = {level: i for i, level in enumerate(ReliabilityLevel)}
+#: Per-measure upper bound of the SafeML distances over ECDFs in [0, 1].
+#: KS is a sup of |F_a - F_b| (≤ 1); Kuiper sums two sups (≤ 2); the
+#: integrated/weighted measures are unbounded in data units but must stay
+#: finite and non-negative.
+DISTANCE_UPPER_BOUND = {"kolmogorov_smirnov": 1.0, "kuiper": 2.0}
+
+
+def guarantee_rank(guarantee: UavGuarantee) -> int:
+    """Severity rank of a top-level guarantee (0 = best, 4 = worst)."""
+    return GUARANTEE_RANK[guarantee]
+
+
+def demotion_monotone_ok(prev: UavGuarantee, cur: UavGuarantee) -> bool:
+    """Whether a guarantee change respects decay monotonicity.
+
+    Under *pure evidence decay* (bits only flip good -> bad, nothing
+    recovers) the offered guarantee can only hold or worsen — the ConSert
+    trees are monotone boolean programs of positive evidence.
+    """
+    return GUARANTEE_RANK[cur] >= GUARANTEE_RANK[prev]
+
+
+def demotion_step_ok(prev: ReliabilityLevel, cur: ReliabilityLevel) -> bool:
+    """Whether a reliability demotion moved at most one level.
+
+    The level is a threshold function of a continuously-evolving failure
+    probability (HIGH below 0.2, MEDIUM below 0.6), so as long as the
+    per-cycle PoF increment is small the monitor must pass through
+    MEDIUM on the way from HIGH to LOW — skipping a level means the PoF
+    jumped the whole [0.2, 0.6) band in one cycle.
+    """
+    return RELIABILITY_RANK[cur] - RELIABILITY_RANK[prev] <= 1
+
+
+def distance_in_bounds(measure: str, value: float) -> bool:
+    """Whether one SafeML distance value is in its legal range."""
+    return (
+        math.isfinite(value)
+        and value >= 0.0
+        and value <= DISTANCE_UPPER_BOUND.get(measure, math.inf)
+    )
 
 
 # ---------------------------------------------------------------- plumbing
@@ -249,9 +304,9 @@ class GuaranteeSanityOracle(Oracle):
 
     name = "guarantee_sanity"
 
-    def check(self, scalar_eddis: dict, vector_eddis: dict) -> None:
-        for uav_id, (eddi, _stack) in scalar_eddis.items():
-            trace = eddi.guarantee_trace
+    def check(self, scalar_plane, vector_plane) -> None:
+        for uav_id in scalar_plane.uav_ids:
+            trace = scalar_plane.guarantee_trace(uav_id)
             last_t = None
             for t, guarantee in trace:
                 if last_t is not None and t < last_t:
@@ -268,14 +323,15 @@ class GuaranteeSanityOracle(Oracle):
             transitions = sum(
                 1 for prev, cur in zip(trace, trace[1:]) if prev[1] is not cur[1]
             ) + (1 if trace else 0)
-            if len(eddi.response_log) != transitions:
+            response_log = scalar_plane.response_log(uav_id)
+            if len(response_log) != transitions:
                 self.record(
                     None, uav_id,
-                    f"response log has {len(eddi.response_log)} entries for "
+                    f"response log has {len(response_log)} entries for "
                     f"{transitions} guarantee transitions",
                 )
             previous = None
-            for response in eddi.response_log:
+            for response in response_log:
                 if response.previous is not previous:
                     self.record(
                         response.stamp, uav_id,
@@ -288,14 +344,89 @@ class GuaranteeSanityOracle(Oracle):
                         f"self-transition response {response.guarantee!r}",
                     )
                 previous = response.guarantee
-            peer_eddi, _ = vector_eddis[uav_id]
             mine = [(t, g.value) for t, g in trace]
-            theirs = [(t, g.value) for t, g in peer_eddi.guarantee_trace]
+            theirs = [
+                (t, g.value) for t, g in vector_plane.guarantee_trace(uav_id)
+            ]
             if mine != theirs:
                 self.record(
                     None, uav_id,
                     "guarantee traces diverge between engines "
                     f"({len(mine)} vs {len(theirs)} entries)",
+                )
+
+
+class AssuranceLockstepOracle(Oracle):
+    """Scalar and batched assurance planes agree exactly, cycle for cycle."""
+
+    name = "assurance_lockstep"
+
+    def compare(self, scalar_plane, batched_plane, now: float) -> None:
+        """Check one completed assurance cycle on both planes."""
+        if scalar_plane.uav_ids != batched_plane.uav_ids:
+            self.record(
+                now, None,
+                f"plane membership differs: {scalar_plane.uav_ids} vs "
+                f"{batched_plane.uav_ids}",
+            )
+            return
+        for uav_id in scalar_plane.uav_ids:
+            a = scalar_plane.current_guarantee(uav_id)
+            b = batched_plane.current_guarantee(uav_id)
+            if a is not b:
+                self.record(
+                    now, uav_id,
+                    f"guarantee diverged: scalar={a!r} batched={b!r}",
+                )
+            offers_a = scalar_plane.consert_offers(uav_id)
+            offers_b = batched_plane.consert_offers(uav_id)
+            if offers_a != offers_b:
+                self.record(
+                    now, uav_id,
+                    f"ConSert offers diverged: {offers_a!r} vs {offers_b!r}",
+                )
+            evidence_a = scalar_plane.evidence(uav_id)
+            evidence_b = batched_plane.evidence(uav_id)
+            if evidence_a != evidence_b:
+                self.record(
+                    now, uav_id,
+                    f"runtime evidence diverged: {evidence_a!r} vs "
+                    f"{evidence_b!r}",
+                )
+        da = scalar_plane.decide()
+        db = batched_plane.decide()
+        if (
+            da.verdict is not db.verdict
+            or da.uav_guarantees != db.uav_guarantees
+            or da.capable_uavs != db.capable_uavs
+            or da.takeover_uavs != db.takeover_uavs
+            or da.dropped_uavs != db.dropped_uavs
+        ):
+            self.record(
+                now, None,
+                f"mission decision diverged: scalar={da!r} batched={db!r}",
+            )
+
+    def finish_planes(self, scalar_plane, batched_plane) -> None:
+        """End-of-run check: full traces and response logs must match."""
+        for uav_id in scalar_plane.uav_ids:
+            if scalar_plane.guarantee_trace(uav_id) != (
+                batched_plane.guarantee_trace(uav_id)
+            ):
+                self.record(
+                    None, uav_id, "guarantee traces diverged over the run"
+                )
+            log_a = [
+                (r.stamp, r.guarantee, r.previous)
+                for r in scalar_plane.response_log(uav_id)
+            ]
+            log_b = [
+                (r.stamp, r.guarantee, r.previous)
+                for r in batched_plane.response_log(uav_id)
+            ]
+            if log_a != log_b:
+                self.record(
+                    None, uav_id, "EDDI response logs diverged over the run"
                 )
 
 
@@ -401,9 +532,11 @@ def run_scenario_oracles(
     The scenario is loaded twice — scalar reference and vectorized
     engine — and stepped in lockstep to ``horizon_s`` (argument, else
     the config's ``"horizon_s"``, else :data:`DEFAULT_HORIZON_S`).
-    Every UAV carries the standard Fig. 1 EDDI monitor stack on both
-    worlds, cycled every ``eddi_period_s`` simulated seconds, feeding
-    the ``guarantee_sanity`` oracle. Any exception the simulator raises
+    The scalar world carries the reference assurance plane (per-UAV
+    Fig. 1 EDDI stacks) and the vectorized world carries the batched
+    plane (:mod:`repro.core.batch`); both cycle every ``eddi_period_s``
+    simulated seconds, feeding the ``guarantee_sanity`` and
+    ``assurance_lockstep`` oracles. Any exception the simulator raises
     is the ``no_unhandled_exception`` verdict, not a crash of the
     harness. Fully deterministic: same config, same report.
     """
@@ -414,8 +547,8 @@ def run_scenario_oracles(
     steps = max(1, int(round(horizon / dt)))
     eddi_every = max(1, int(round(eddi_period_s / dt)))
 
-    scalar_eddis = build_fleet_eddis(scalar.world)
-    vector_eddis = build_fleet_eddis(vector.world)
+    scalar_plane = build_assurance(scalar.world)
+    vector_plane = build_assurance(vector.world)
 
     state_oracles: list[Oracle] = [
         SocMonotonicOracle(max_violations=max_violations),
@@ -424,6 +557,7 @@ def run_scenario_oracles(
     ]
     lockstep = EngineLockstepOracle(max_violations=max_violations)
     guarantee = GuaranteeSanityOracle(max_violations=max_violations)
+    assurance = AssuranceLockstepOracle(max_violations=max_violations)
     exception = Oracle(max_violations=max_violations)
     exception.name = "no_unhandled_exception"
 
@@ -448,9 +582,9 @@ def run_scenario_oracles(
             lockstep.compare(scalar.world, vector.world, now)
             completed += 1
             if completed % eddi_every == 0:
-                for uav_id in scalar_eddis:
-                    scalar_eddis[uav_id][0].step(now)
-                    vector_eddis[uav_id][0].step(now)
+                scalar_plane.step(now)
+                vector_plane.step(now)
+                assurance.compare(scalar_plane, vector_plane, now)
     except Exception as exc:
         frame = traceback.extract_tb(exc.__traceback__)[-1]
         exception.record(
@@ -458,9 +592,10 @@ def run_scenario_oracles(
             f"{type(exc).__name__}: {exc} "
             f"(at {Path(frame.filename).name}:{frame.lineno})",
         )
-    guarantee.check(scalar_eddis, vector_eddis)
+    guarantee.check(scalar_plane, vector_plane)
+    assurance.finish_planes(scalar_plane, vector_plane)
 
-    all_oracles = [*state_oracles, lockstep, guarantee, exception]
+    all_oracles = [*state_oracles, lockstep, guarantee, assurance, exception]
     violations: list[Violation] = []
     for oracle in all_oracles:
         violations.extend(oracle.violations)

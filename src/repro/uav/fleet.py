@@ -623,6 +623,21 @@ class FleetEngine:
             cam = cams[k]
             if cam.degradation_rate > 0.0:
                 cam.step(dt)
+            battery = uav.battery
+            if battery is not bats[k]:
+                # Mid-run pack swap (`uav.battery = Battery(...)`, e.g. the
+                # fig5 naive-policy replacement): re-home the fresh pack
+                # into the arrays so fleet state tracks the new object.
+                bspec = battery.spec
+                arrays.capacity_wh[k] = bspec.capacity_wh
+                arrays.hover_w[k] = bspec.hover_draw_w
+                arrays.cruise_w[k] = bspec.cruise_draw_w
+                arrays.idle_w[k] = bspec.idle_draw_w
+                arrays.thermal_tau[k] = bspec.thermal_time_constant_s
+                battery = FleetBattery(arrays, k, battery)
+                uav.battery = battery
+                bats[k] = battery
+                self._rebuild_static(n)
             if bats[k].faults:
                 fault_rows.add(k)
         if dirty:

@@ -1,0 +1,524 @@
+"""Differential suite: the batched assurance plane vs the scalar reference.
+
+The batched plane (:mod:`repro.core.batch`) promises *bit-identical*
+safety semantics to the scalar EDDI/ConSert/SafeML stack — not "close
+enough", identical: guarantee traces, ConSert gate outputs, SafeDrones
+reliability numbers, SafeML distance measures, and MissionDecider
+verdicts must match to the last bit, because every one of them feeds a
+discrete branch (demotion, task redistribution) where a single ULP flips
+the outcome.
+
+These tests run the same scenario through both engines side by side —
+scalar plane on a scalar world, batched plane on a vectorized world,
+sharing only the seeds — and demand exact equality (``tol=0.0``) at
+every assurance cycle, across every shipped scenario and 50 seeded
+random fleets with adversarial mid-run mutations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BatchAssurancePlane,
+    ScalarAssurancePlane,
+    build_assurance,
+    compiled_conserts,
+)
+from repro.experiments.common import build_three_uav_world
+from repro.safeml.distances import ALL_MEASURES
+from repro.safeml.monitor import SafeMlMonitor
+from repro.scenario import load_scenario_json
+
+SCENARIO_DIR = Path(__file__).parent.parent / "scenarios"
+SCENARIOS = sorted(SCENARIO_DIR.glob("*.json"))
+
+#: The issue's contract: exact equality, asserted directly (no epsilon).
+TOL = 0.0
+
+#: Long enough to cross every shipped scenario's fault/attack window
+#: (latest onset is the 250 s battery collapse in fig5_battery_fault).
+T_END = 320.0
+
+
+def _assert_assessments_equal(a, b, where: str) -> None:
+    if a is None or b is None:
+        assert a is None and b is None, f"{where}: one assessment missing"
+        return
+    assert a.stamp == b.stamp, where
+    for key in (
+        "failure_probability",
+        "battery_pof",
+        "propulsion_pof",
+        "processor_pof",
+    ):
+        va, vb = getattr(a, key), getattr(b, key)
+        assert abs(va - vb) <= TOL and va == vb, f"{where}: {key} {va} != {vb}"
+    assert a.level is b.level, f"{where}: level {a.level} != {b.level}"
+    assert a.battery_fault_detected == b.battery_fault_detected, where
+    assert a.abort_recommended == b.abort_recommended, where
+
+
+def _assert_reports_equal(a, b, where: str) -> None:
+    if a is None or b is None:
+        assert a is None and b is None, f"{where}: one SafeML report missing"
+        return
+    assert a.distances.keys() == b.distances.keys(), where
+    for key in a.distances:
+        va, vb = a.distances[key], b.distances[key]
+        assert va == vb, f"{where}: distance {key} {va!r} != {vb!r}"
+    assert a.z_score == b.z_score, f"{where}: z {a.z_score} != {b.z_score}"
+    assert a.uncertainty == b.uncertainty, where
+    assert a.level is b.level, f"{where}: level {a.level} != {b.level}"
+
+
+def _assert_planes_agree(scalar, batched, where: str) -> None:
+    """Full cross-section: evidence, gates, assessments, reports, traces."""
+    assert scalar.uav_ids == batched.uav_ids, where
+    for uav_id in scalar.uav_ids:
+        w = f"{where} {uav_id}"
+        assert scalar.evidence(uav_id) == batched.evidence(uav_id), w
+        assert scalar.consert_offers(uav_id) == batched.consert_offers(uav_id), w
+        assert (
+            scalar.current_guarantee(uav_id)
+            is batched.current_guarantee(uav_id)
+        ), w
+        _assert_assessments_equal(
+            scalar.assessment(uav_id), batched.assessment(uav_id), w
+        )
+        _assert_reports_equal(
+            scalar.safeml_report(uav_id), batched.safeml_report(uav_id), w
+        )
+
+
+def _assert_decisions_equal(a, b, where: str) -> None:
+    assert a.verdict is b.verdict, f"{where}: {a.verdict} != {b.verdict}"
+    assert a.uav_guarantees == b.uav_guarantees, where
+    assert a.capable_uavs == b.capable_uavs, where
+    assert a.takeover_uavs == b.takeover_uavs, where
+    assert a.dropped_uavs == b.dropped_uavs, where
+
+
+def _run_lockstep(scalar_world, vector_world, steps: int, *, mutate=None):
+    """Step both worlds + planes in lockstep, asserting per-cycle equality."""
+    scalar_plane = build_assurance(scalar_world)
+    batched_plane = build_assurance(vector_world)
+    assert isinstance(scalar_plane, ScalarAssurancePlane)
+    assert isinstance(batched_plane, BatchAssurancePlane)
+    for step in range(steps):
+        if mutate is not None:
+            mutate(step, scalar_world, scalar_plane)
+            mutate(step, vector_world, batched_plane)
+        ta = scalar_world.step()
+        tb = vector_world.step()
+        assert ta == tb
+        ga = scalar_plane.step(ta)
+        gb = batched_plane.step(tb)
+        assert ga == gb, f"t={ta}: guarantees {ga} != {gb}"
+        _assert_planes_agree(scalar_plane, batched_plane, f"t={ta}")
+        da = scalar_plane.decide()
+        db = batched_plane.decide()
+        _assert_decisions_equal(da, db, f"t={ta}")
+    for uav_id in scalar_plane.uav_ids:
+        assert scalar_plane.guarantee_trace(uav_id) == batched_plane.guarantee_trace(
+            uav_id
+        ), uav_id
+        la = [
+            (r.stamp, r.guarantee, r.previous)
+            for r in scalar_plane.response_log(uav_id)
+        ]
+        lb = [
+            (r.stamp, r.guarantee, r.previous)
+            for r in batched_plane.response_log(uav_id)
+        ]
+        assert la == lb, uav_id
+    assert len(scalar_plane.decider_history) == len(batched_plane.decider_history)
+    return scalar_plane, batched_plane
+
+
+@pytest.mark.parametrize(
+    "scenario_path", SCENARIOS, ids=[p.stem for p in SCENARIOS]
+)
+def test_scenarios_bit_identical_assurance(scenario_path):
+    """Every shipped scenario, assurance cycle compared at every step.
+
+    Runs well past every fault onset (battery collapse, GPS denial and
+    spoofing, camera degradation, wind) so the spoof detector, the
+    SoC-collapse fault path, and GPS-quality demotions all fire in both
+    planes.
+    """
+    text = scenario_path.read_text()
+    scalar = load_scenario_json(text, engine="scalar")
+    vector = load_scenario_json(text, engine="vectorized")
+    steps = int(round(T_END / scalar.world.dt))
+    _run_lockstep(scalar.world, vector.world, steps)
+
+
+def _random_mutator(seed: int):
+    """A deterministic adversarial schedule, applied identically per engine.
+
+    Draws are taken from a private generator (not the world's), so the
+    simulation streams are untouched; each mutation targets the same UAV
+    at the same step in both engines.
+    """
+    rng = np.random.default_rng(seed)
+    script: dict[int, list[tuple]] = {}
+    for _ in range(12):
+        at = int(rng.integers(0, 40))
+        kind = rng.choice(
+            ["deny", "spoof", "imu", "camera", "motor", "drain", "heal"]
+        )
+        target = int(rng.integers(0, 1 << 30))
+        magnitude = float(rng.random())
+        script.setdefault(at, []).append((str(kind), target, magnitude))
+
+    def mutate(step: int, world, plane) -> None:
+        uav_ids = list(world.uavs)
+        if not uav_ids:
+            return
+        for kind, target, magnitude in script.get(step, ()):
+            uav = world.uavs[uav_ids[target % len(uav_ids)]]
+            if kind == "deny":
+                uav.sensors.gps.denied = True
+            elif kind == "spoof":
+                offset = (40.0 * magnitude, -25.0 * magnitude, 0.0)
+                uav.sensors.gps.spoof_offset_m = offset
+            elif kind == "imu":
+                uav.sensors.imu.healthy = False
+            elif kind == "camera":
+                uav.sensors.camera.health = magnitude * 0.6
+            elif kind == "motor":
+                uav.motors_failed = 1 + int(magnitude * 2.0)
+            elif kind == "drain":
+                uav.battery.soc = uav.battery.soc * (0.3 + 0.5 * magnitude)
+            elif kind == "heal":
+                uav.sensors.gps.denied = False
+                uav.sensors.gps.spoof_offset_m = (0.0, 0.0, 0.0)
+                uav.sensors.imu.healthy = True
+
+    return mutate
+
+
+@pytest.mark.parametrize("case", range(50))
+def test_random_fleets_lockstep(case):
+    """50 seeded random fleets (1–64 UAVs) under adversarial mutations.
+
+    Each case draws a fleet size and a mutation script (GPS denial,
+    spoofing, IMU loss, camera degradation, motor failures, battery
+    drains, mid-run healing) from its seed and demands exact agreement on
+    every guarantee trace, gate output, reliability number, and mission
+    verdict.
+    """
+    rng = np.random.default_rng(1000 + case)
+    n_uavs = int(rng.integers(1, 65))
+    seed = int(rng.integers(0, 1 << 31))
+    scalar = build_three_uav_world(
+        seed=seed, n_uavs=n_uavs, n_persons=0, engine="scalar"
+    ).world
+    vector = build_three_uav_world(
+        seed=seed, n_uavs=n_uavs, n_persons=0, engine="vectorized"
+    ).world
+    steps = 12 if n_uavs > 16 else 40
+    _run_lockstep(scalar, vector, steps, mutate=_random_mutator(seed))
+
+
+@pytest.mark.parametrize("measure", sorted(ALL_MEASURES))
+def test_safeml_measures_bit_identical(measure):
+    """Every registered ECDF distance measure agrees bit-for-bit.
+
+    Monitors are fitted on identical references and fed identical
+    feature streams in both planes; the stacked distance path must
+    reproduce the scalar per-feature computation exactly — distances,
+    z-scores, uncertainty, and confidence level.
+    """
+    scalar = build_three_uav_world(seed=5, n_uavs=3, n_persons=0,
+                                   engine="scalar").world
+    vector = build_three_uav_world(seed=5, n_uavs=3, n_persons=0,
+                                   engine="vectorized").world
+    scalar_plane = build_assurance(scalar)
+    batched_plane = build_assurance(vector)
+
+    window = 8
+    feature_rng = np.random.default_rng(99)
+    features = feature_rng.normal(size=(40, 3))
+    for plane in (scalar_plane, batched_plane):
+        for i, uav_id in enumerate(plane.uav_ids):
+            monitor = SafeMlMonitor(
+                measure=measure,
+                window_size=window,
+                rng=np.random.default_rng(7 + i),
+            )
+            monitor.fit(
+                np.random.default_rng(13 + i).normal(size=(4 * window, 3))
+            )
+            plane.set_safeml(uav_id, monitor)
+
+    for step in range(2 * window):
+        for plane in (scalar_plane, batched_plane):
+            for uav_id in plane.uav_ids:
+                plane.safeml_monitor(uav_id).observe(features[step])
+        ta = scalar.step()
+        tb = vector.step()
+        ga = scalar_plane.step(ta)
+        gb = batched_plane.step(tb)
+        assert ga == gb
+        _assert_planes_agree(scalar_plane, batched_plane, f"{measure} t={ta}")
+    # The windows are full by now, so reports must exist and agree.
+    for uav_id in scalar_plane.uav_ids:
+        report = batched_plane.safeml_report(uav_id)
+        assert report is not None
+        _assert_reports_equal(
+            scalar_plane.safeml_report(uav_id), report, measure
+        )
+
+
+def test_zero_uav_planes_agree():
+    """Empty fleet: step is a no-op dict, decide raises like the scalar."""
+    from repro.geo import EnuFrame, GeoPoint
+    from repro.uav.world import World
+
+    frame = EnuFrame(origin=GeoPoint(35.0, 33.0, 0.0))
+    scalar = World(frame=frame, rng=np.random.default_rng(0), engine="scalar")
+    vector = World(
+        frame=frame, rng=np.random.default_rng(0), engine="vectorized"
+    )
+    scalar_plane = build_assurance(scalar)
+    batched_plane = build_assurance(vector)
+    assert scalar_plane.step(0.5) == {}
+    assert batched_plane.step(0.5) == {}
+    with pytest.raises(RuntimeError, match="no UAVs registered"):
+        scalar_plane.decide()
+    with pytest.raises(RuntimeError, match="no UAVs registered"):
+        batched_plane.decide()
+
+
+def test_single_uav_has_no_collaborators():
+    """n=1: nearby_uavs_available stays False in both planes, forever."""
+    scalar = build_three_uav_world(seed=2, n_uavs=1, n_persons=0,
+                                   engine="scalar").world
+    vector = build_three_uav_world(seed=2, n_uavs=1, n_persons=0,
+                                   engine="vectorized").world
+    scalar_plane, batched_plane = _run_lockstep(scalar, vector, 30)
+    (uav_id,) = scalar_plane.uav_ids
+    assert scalar_plane.evidence(uav_id)["nearby_uavs_available"] is False
+    assert batched_plane.evidence(uav_id)["nearby_uavs_available"] is False
+
+
+def test_engine_switch_vocabulary_matches_world():
+    """build_assurance speaks the exact engine vocabulary World does."""
+    world = build_three_uav_world(seed=0, n_persons=0).world
+    with pytest.raises(ValueError, match="unknown engine"):
+        build_assurance(world, engine="warp")
+    assert build_assurance(world, engine="scalar").engine == "scalar"
+    vec = build_three_uav_world(seed=0, n_persons=0, engine="vectorized").world
+    assert build_assurance(vec).engine == "vectorized"
+    # The batched plane refuses a scalar world: it needs fleet channels.
+    with pytest.raises(ValueError, match="vectorized assurance"):
+        build_assurance(world, engine="vectorized")
+
+
+def test_compiled_network_matches_template_shape():
+    """The compiled programs cover every ConSert and guarantee by name."""
+    compiled = compiled_conserts()
+    assert "uav" in compiled.fields
+    assert compiled.order[-1] == "uav"  # top of the demand DAG
+    for name in compiled.fields:
+        assert len(compiled.programs[name]) == len(
+            compiled.guarantee_names[name]
+        )
+    assert [g.value for g in compiled.uav_guarantees] == list(
+        compiled.guarantee_names["uav"]
+    )
+
+
+def test_batched_plane_rejects_fleet_growth():
+    """Adopting UAVs after the plane exists is an error, not silent skew."""
+    from repro.uav.uav import Uav, UavSpec
+
+    scenario = build_three_uav_world(seed=4, n_persons=0, engine="vectorized")
+    world = scenario.world
+    plane = build_assurance(world)
+    world.add_uav(
+        Uav(
+            spec=UavSpec(uav_id="late", base_position=(0.0, 0.0, 0.0)),
+            frame=world.frame,
+            bus=world.bus,
+            rng=np.random.default_rng(123),
+        )
+    )
+    world.step()
+    with pytest.raises(RuntimeError, match="fleet grew"):
+        plane.step(world.time)
+
+
+def test_guarantee_callbacks_fire_identically():
+    """on_guarantee responses fire with identical payloads in both planes."""
+    text = (SCENARIO_DIR / "fig5_battery_fault.json").read_text()
+    scalar = load_scenario_json(text, engine="scalar")
+    vector = load_scenario_json(text, engine="vectorized")
+    scalar_plane = build_assurance(scalar.world)
+    batched_plane = build_assurance(vector.world)
+    fired: dict[str, list] = {"scalar": [], "batched": []}
+    from repro.core.uav_network import UavGuarantee
+
+    for label, plane in (("scalar", scalar_plane), ("batched", batched_plane)):
+        for uav_id in plane.uav_ids:
+            for guarantee in UavGuarantee:
+                plane.on_guarantee(
+                    uav_id,
+                    guarantee,
+                    lambda r, _label=label, _u=uav_id: fired[_label].append(
+                        (_u, r.stamp, r.guarantee, r.previous)
+                    ),
+                )
+    steps = int(round(T_END / scalar.world.dt))
+    for _ in range(steps):
+        ta = scalar.step()
+        tb = vector.step()
+        scalar_plane.step(ta)
+        batched_plane.step(tb)
+    assert fired["scalar"] == fired["batched"]
+    assert fired["scalar"]  # the scenario actually causes transitions
+
+
+def test_scenarios_exercise_assurance_relevant_faults():
+    """Meta-check: the sweep crosses demotion-triggering fault types."""
+    covered = set()
+    for path in SCENARIOS:
+        config = json.loads(path.read_text())
+        for fault in config.get("faults", ()):
+            if float(fault["at"]) < T_END:
+                covered.add(fault["type"])
+    assert {"battery_collapse", "gps_denial", "gps_spoof"} <= covered, (
+        f"scenario sweep only covers {sorted(covered)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sample-axis batching: the fig5 Monte-Carlo campaign, stacked
+# ---------------------------------------------------------------------------
+
+
+def test_mc_batched_samples_bit_identical():
+    """Stacked fig5 rows reproduce the per-sample path to the bit.
+
+    Covers both policies (SESAME threshold abort, naive swap-and-resume
+    — the latter exercises the mid-run battery replacement under the
+    vectorized engine) across distinct seeds and grid points in one
+    stacked call.
+    """
+    from repro.experiments.fig5_batch import monte_carlo_batch
+    from repro.experiments.monte_carlo import monte_carlo_sample
+    from repro.harness.timing import PhaseTimer
+
+    configs = [
+        {"fault_time_s": 250.0, "soc_after_fault": 0.40, "seed": 3},
+        {"fault_time_s": 350.0, "soc_after_fault": 0.40, "seed": 4},
+        {"fault_time_s": 150.0, "soc_after_fault": 0.35, "seed": 5},
+    ]
+    seeds = [3, 4, 5]
+    scalar = [
+        monte_carlo_sample(dict(c), s, PhaseTimer())
+        for c, s in zip(configs, seeds)
+    ]
+    batched = monte_carlo_batch(configs, seeds, PhaseTimer())
+    assert batched == scalar  # dict equality == float bit equality here
+
+
+def test_mc_campaign_fingerprint_unchanged_with_batching():
+    """`batch=True` must not move the smoke-grid campaign fingerprint.
+
+    The fingerprint covers every sample's (index, seed, config, result,
+    status); the pinned value is the scalar golden from
+    tests/data/golden_traces.json, so this also cross-checks the golden.
+    """
+    from repro.experiments.monte_carlo import MONTE_CARLO_CAMPAIGN
+    from repro.harness.campaign import run_campaign
+
+    serial = run_campaign(MONTE_CARLO_CAMPAIGN, grid="smoke", root_seed=0)
+    batched = run_campaign(
+        MONTE_CARLO_CAMPAIGN, grid="smoke", root_seed=0, batch=True
+    )
+    assert serial.fingerprint == batched.fingerprint
+    golden_path = Path(__file__).parent / "data" / "golden_traces.json"
+    golden = json.loads(golden_path.read_text())
+    assert batched.fingerprint == golden["monte_carlo_smoke"]["fingerprint"]
+
+
+def test_batch_fallback_recovers_per_sample():
+    """A failing batch hook falls back to the fault-tolerant path."""
+    from repro.harness.campaign import CampaignExperiment, run_campaign
+
+    def sample_fn(config, seed, timer):
+        return {"value": config["x"] * 10 + seed % 7}
+
+    def bad_batch(configs, seeds, timer):
+        raise RuntimeError("stacked path exploded")
+
+    def experiment(batch_fn):
+        return CampaignExperiment(
+            name="batch-fallback-proof",
+            sample_fn=sample_fn,
+            grids=lambda preset: [{"x": x} for x in range(4)],
+            batch_fn=batch_fn,
+        )
+
+    plain = run_campaign(experiment(None), grid="default")
+    fallen = run_campaign(experiment(bad_batch), grid="default", batch=True)
+    assert fallen.fingerprint == plain.fingerprint
+    assert all(r.status == "ok" for r in fallen.records)
+
+
+def test_batch_length_mismatch_falls_back():
+    """A batch hook returning the wrong arity never corrupts records."""
+    from repro.harness.campaign import CampaignExperiment, run_campaign
+
+    def sample_fn(config, seed, timer):
+        return {"value": config["x"]}
+
+    def short_batch(configs, seeds, timer):
+        return [{"value": c["x"]} for c in configs[:-1]]
+
+    experiment = CampaignExperiment(
+        name="batch-arity-proof",
+        sample_fn=sample_fn,
+        grids=lambda preset: [{"x": x} for x in range(3)],
+        batch_fn=short_batch,
+    )
+    result = run_campaign(experiment, grid="default", batch=True)
+    assert [r.result["value"] for r in result.records] == [0, 1, 2]
+    assert all(r.status == "ok" for r in result.records)
+
+
+def test_assurance_scale_point_engine_invariant():
+    """The fleet-scale assurance sample reports identical mission and
+    assurance facts on both engines (only wall-clock fields may differ)."""
+    from repro.experiments.fleet_scale import run_assurance_scale_point
+
+    deterministic = (
+        "seed", "n_uavs", "coverage_fraction", "duration_s", "sim_time_s",
+        "persons_found", "persons_total", "assurance_cycles",
+        "final_verdict", "guarantee_transitions",
+    )
+    scalar = run_assurance_scale_point(3, seed=21, engine="scalar",
+                                       max_time_s=20.0)
+    batched = run_assurance_scale_point(3, seed=21, engine="vectorized",
+                                        max_time_s=20.0)
+    assert scalar["assurance_engine"] == "scalar"
+    assert batched["assurance_engine"] == "vectorized"
+    for key in deterministic:
+        assert scalar[key] == batched[key], key
+    assert batched["assurance_cycles"] > 0
+
+
+def test_assurance_smoke_grid_cycles_the_plane():
+    """The CI grid actually exercises the 50-UAV batched plane."""
+    from repro.experiments.fleet_scale import fleet_scale_grid
+
+    grid = fleet_scale_grid("assurance-smoke")
+    assert {c["n_uavs"] for c in grid} == {3, 50}
+    assert all(c["assurance"] and c["engine"] == "vectorized" for c in grid)
