@@ -1,0 +1,120 @@
+"""Campaign service benchmark: scheduler overhead and concurrency.
+
+The acceptance bars for running campaigns *as jobs* instead of direct
+``run_campaign`` calls:
+
+- pushing N=8 campaigns through the scheduler one-at-a-time costs less
+  than 10% over running the same campaigns directly (the job machinery —
+  child process, stream, durable records — is cheap);
+- with 4 job slots the same 8 campaigns overlap for a real speedup;
+- resubmitting a finished job is a pure cache replay and lands terminal
+  in under a second.
+
+Fingerprints are compared at every phase: a faster-but-different sweep
+would be worthless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import repro.harness.synthetic  # noqa: F401  (registers "synthetic")
+from repro.harness.campaign import run_campaign
+from repro.service.scheduler import CampaignScheduler
+
+from conftest import print_table, run_once
+
+N_JOBS = 8
+#: Each job: 8 wall-time-bound samples, ~1 s of sleep per campaign.
+JOB_GRID = [{"n": 64, "loc": 0.0, "sleep_s": 0.12} for _ in range(8)]
+ROOT_SEEDS = [100 + i for i in range(N_JOBS)]
+
+
+def submit_all(scheduler: CampaignScheduler, tenant: str) -> list[str]:
+    ids = []
+    for seed in ROOT_SEEDS:
+        job, errors = scheduler.submit({
+            "experiment": "synthetic", "grid": JOB_GRID,
+            "root_seed": seed, "tenant": tenant,
+        })
+        assert errors == [], errors
+        ids.append(job.id)
+    return ids
+
+
+def run_jobs(scheduler: CampaignScheduler, tenant: str) -> tuple[float, list]:
+    """Submit the 8 campaigns and drive the scheduler dry; returns wall."""
+    start = time.perf_counter()
+    ids = submit_all(scheduler, tenant)
+    asyncio.run(scheduler.run_until_idle())
+    wall = time.perf_counter() - start
+    jobs = [scheduler.store.load(job_id) for job_id in ids]
+    assert all(j.state == "done" for j in jobs), [j.state for j in jobs]
+    return wall, jobs
+
+
+def test_bench_service_scheduler(benchmark, tmp_path):
+    # Baseline: the same 8 campaigns, called directly, back to back.
+    start = time.perf_counter()
+    direct = [
+        run_campaign("synthetic", grid=JOB_GRID, root_seed=seed, workers=1)
+        for seed in ROOT_SEEDS
+    ]
+    direct_s = time.perf_counter() - start
+    fingerprints = [r.fingerprint for r in direct]
+
+    # Serial through the scheduler: measures pure job-machinery overhead.
+    serial_sched = CampaignScheduler(
+        tmp_path / "jobs-serial", tmp_path / "cache", max_jobs=1
+    )
+    serial_s, serial_jobs = run_jobs(serial_sched, "serial")
+    overhead = (serial_s - direct_s) / direct_s
+
+    # Concurrent: 4 job slots over the same 8 campaigns.
+    concurrent_sched = CampaignScheduler(
+        tmp_path / "jobs-concurrent", tmp_path / "cache", max_jobs=4
+    )
+    concurrent_s, concurrent_jobs = run_once(
+        benchmark, run_jobs, concurrent_sched, "concurrent"
+    )
+    speedup = serial_s / concurrent_s
+
+    # Cached resubmission: same tenant, same payload — pure cache replay.
+    start = time.perf_counter()
+    job, _ = concurrent_sched.submit({
+        "experiment": "synthetic", "grid": JOB_GRID,
+        "root_seed": ROOT_SEEDS[0], "tenant": "concurrent",
+    })
+    asyncio.run(concurrent_sched.run_until_idle())
+    cached_s = time.perf_counter() - start
+    cached_job = concurrent_sched.store.load(job.id)
+
+    print_table(
+        f"Campaign service: {N_JOBS} jobs x {len(JOB_GRID)} samples",
+        ["mode", "wall_s", "note"],
+        [
+            ["direct serial", f"{direct_s:.2f}", "run_campaign back to back"],
+            ["scheduler serial", f"{serial_s:.2f}",
+             f"overhead {100 * overhead:.1f}%"],
+            ["scheduler x4", f"{concurrent_s:.2f}", f"speedup {speedup:.2f}x"],
+            ["cached resubmit", f"{cached_s:.2f}",
+             f"{cached_job.totals['cached']}/{len(JOB_GRID)} cache hits"],
+        ],
+    )
+    benchmark.extra_info["direct_s"] = round(direct_s, 3)
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["concurrent_s"] = round(concurrent_s, 3)
+    benchmark.extra_info["overhead_pct"] = round(100 * overhead, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cached_s"] = round(cached_s, 3)
+
+    # Equivalence before speed: every path agrees with the direct runs.
+    assert [j.fingerprint for j in serial_jobs] == fingerprints
+    assert [j.fingerprint for j in concurrent_jobs] == fingerprints
+    assert cached_job.fingerprint == fingerprints[0]
+    assert cached_job.totals["cached"] == len(JOB_GRID)
+
+    assert overhead < 0.10, f"scheduler overhead {100 * overhead:.1f}% >= 10%"
+    assert speedup >= 2.0, f"4-slot scheduler only {speedup:.2f}x faster"
+    assert cached_s < 1.0, f"cached resubmission took {cached_s:.2f}s"

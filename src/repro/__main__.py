@@ -14,9 +14,14 @@ Usage::
 
     python -m repro fig5 --engine vectorized           # batched fleet physics
 
-    python -m repro campaign list                      # sweep catalogue
+    python -m repro campaign --list                    # sweep catalogue + presets
     python -m repro campaign monte-carlo --workers 4   # sharded sweep
     python -m repro campaign monte-carlo --resume      # finish a broken run
+
+    python -m repro serve --port 8080 --workers 2      # campaign service:
+                                  # POST /jobs, GET /jobs/<id>, NDJSON
+                                  # /jobs/<id>/stream, DELETE /jobs/<id>,
+                                  # GET /experiments, GET /metrics
 
     python -m repro campaign fuzz --profile smoke --count 200 --workers 4
                                   # generated scenarios vs the oracle suite;
@@ -229,14 +234,22 @@ def _run_fuzz_cli(args: argparse.Namespace, policy) -> int:
     return 0
 
 
+def _print_catalog() -> None:
+    """The experiment catalogue with grid presets (also GET /experiments)."""
+    from repro.experiments.campaigns import experiment_catalog
+
+    for entry in experiment_catalog():
+        presets = ", ".join(entry["presets"])
+        print(f"{entry['name']:<14} [{presets}]  {entry['describe']}")
+
+
 def _run_campaign_cli(args: argparse.Namespace) -> int:
     """``python -m repro campaign <experiment>``: a sharded, cached sweep."""
-    from repro.experiments.campaigns import get_experiment, list_experiments
+    from repro.experiments.campaigns import get_experiment
     from repro.harness.campaign import CampaignAborted, FaultPolicy, run_campaign
 
-    if args.campaign_experiment == "list":
-        for experiment in list_experiments():
-            print(f"{experiment.name:<14} {experiment.describe}")
+    if args.list or args.campaign_experiment in (None, "list"):
+        _print_catalog()
         return 0
     try:
         experiment = get_experiment(args.campaign_experiment)
@@ -421,7 +434,13 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument(
         "campaign_experiment",
         metavar="experiment",
-        help="campaign name (or 'list' for the catalogue)",
+        nargs="?",
+        default=None,
+        help="campaign name (omit or use --list for the catalogue)",
+    )
+    campaign.add_argument(
+        "--list", action="store_true",
+        help="enumerate registered experiments with their grid presets",
     )
     campaign.add_argument(
         "--workers", type=int, default=1, help="worker processes (default 1)"
@@ -501,6 +520,48 @@ def main(argv: list[str] | None = None) -> int:
              '(self-test, e.g. \'{"mode": "teleport", "at": 10}\')',
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service (async job scheduler + HTTP API)",
+        description=(
+            "Serve campaigns over HTTP: POST /jobs submits a validated "
+            "job, GET /jobs/<id> polls it, GET /jobs/<id>/stream tails "
+            "per-sample results as NDJSON, DELETE /jobs/<id> cancels "
+            "cooperatively (resumable), GET /experiments lists valid "
+            "payloads (same catalogue as 'campaign --list'), and "
+            "GET /metrics exposes Prometheus text. SIGINT/SIGTERM shut "
+            "down gracefully; interrupted jobs resume on restart with "
+            "identical manifest fingerprints."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port; 0 picks an ephemeral port (default 8080)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent campaign jobs (each may shard further; default 2)",
+    )
+    serve.add_argument(
+        "--cache-root", default=".repro-service/cache",
+        help="result-cache root, sharded per tenant (default .repro-service/cache)",
+    )
+    serve.add_argument(
+        "--jobs-root", default=".repro-service/jobs",
+        help="durable job records + streams + manifests (default .repro-service/jobs)",
+    )
+    serve.add_argument(
+        "--grace", type=float, default=5.0, metavar="S",
+        help="graceful-shutdown budget before terminating jobs (default 5)",
+    )
+    serve.add_argument(
+        "--list", action="store_true",
+        help="print the experiment catalogue with grid presets and exit",
+    )
+
     scenario = sub.add_parser(
         "scenario", help="validate or replay a scenario JSON file"
     )
@@ -532,6 +593,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "campaign":
         return _run_campaign_cli(args)
+    if args.command == "serve":
+        if args.list:
+            _print_catalog()
+            return 0
+        from repro.service.api import serve as run_serve
+
+        return run_serve(
+            host=args.host,
+            port=args.port,
+            max_jobs=args.workers,
+            cache_root=args.cache_root,
+            jobs_root=args.jobs_root,
+            grace_s=args.grace,
+        )
     if args.command == "scenario":
         return _run_scenario_cli(args)
     if args.command == "obs":

@@ -271,6 +271,7 @@ FLEET_SCALE_CAMPAIGN = register_experiment(
         grids=fleet_scale_grid,
         describe="SAR coverage time vs fleet size (vectorized engine)",
         summarize=summarize_fleet_scale,
+        presets=("smoke", "assurance-smoke", "default", "full"),
     )
 )
 

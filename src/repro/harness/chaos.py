@@ -112,5 +112,6 @@ CHAOS = register_experiment(
         sample_fn=chaos_sample,
         grids=chaos_grid,
         describe="fault-injection self-test: crash/hang/flake by config",
+        presets=("smoke", "default", "ci-flaky"),
     )
 )

@@ -133,6 +133,7 @@ FUZZ_EXPERIMENT = register_experiment(
             "preset 'profile' or 'profile:count')"
         ),
         summarize=summarize_fuzz,
+        presets=("smoke", "default", "hostile"),
     )
 )
 

@@ -51,5 +51,6 @@ SYNTHETIC = register_experiment(
         sample_fn=synthetic_sample,
         grids=synthetic_grid,
         describe="harness self-test: seeded draws, optional sleep",
+        presets=("smoke", "default", "sleepy"),
     )
 )

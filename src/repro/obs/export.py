@@ -98,7 +98,17 @@ def write_chrome_trace(records: Iterable[dict], path: str | Path) -> Path:
 
 # ----------------------------------------------------------- prometheus
 def _escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    # Label-value escaping per the text exposition format: backslash,
+    # double quote, and line feed — an unescaped newline would split one
+    # sample line in two and break every scraper.
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    # HELP text escaping: only backslash and line feed (quotes are legal).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_labels(key: str) -> str:
@@ -115,24 +125,53 @@ def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
+#: HELP strings for the metric families the stack emits; anything not
+#: listed falls back to a generic line so every family still carries the
+#: ``# HELP``/``# TYPE`` pair scrapers expect.
+METRIC_HELP = {
+    "bus_dropped_total": "Bus deliveries dropped, by reason.",
+    "cache_evictions_total": "Unusable result-cache records evicted.",
+    "campaign_retries_total": "Campaign sample attempts retried, by failure kind.",
+    "campaign_failures_total": "Campaign samples quarantined after exhausting retries.",
+    "service_jobs_submitted_total": "Jobs accepted by the campaign service.",
+    "service_jobs_finished_total": "Jobs that reached a terminal state, by state.",
+    "service_jobs_running": "Campaign jobs currently executing.",
+    "service_jobs_queued": "Campaign jobs waiting for a worker slot.",
+    "service_http_requests_total": "HTTP requests served, by method/route/status.",
+    "service_job_duration_seconds": "Submit-to-terminal latency of finished jobs.",
+}
+
+
+def _header(lines: list[str], metric: str, kind: str) -> None:
+    help_text = METRIC_HELP.get(metric, f"{kind} recorded by repro.obs")
+    lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {metric} {kind}")
+
+
 def prometheus_text(snapshot: dict) -> str:
-    """Render a metrics snapshot in Prometheus text exposition format."""
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Every metric family gets a ``# HELP``/``# TYPE`` header and label
+    values are escaped (backslash, quote, newline), so the output is
+    scrape-valid even for label values derived from error messages.
+    Serve it with content type ``text/plain; version=0.0.4``.
+    """
     lines: list[str] = []
     for name in sorted(snapshot.get("counters", {})):
         metric = _sanitize(name)
-        lines.append(f"# TYPE {metric} counter")
+        _header(lines, metric, "counter")
         series = snapshot["counters"][name]
         for key in sorted(series):
             lines.append(f"{metric}{_prom_labels(key)} {series[key]:g}")
     for name in sorted(snapshot.get("gauges", {})):
         metric = _sanitize(name)
-        lines.append(f"# TYPE {metric} gauge")
+        _header(lines, metric, "gauge")
         series = snapshot["gauges"][name]
         for key in sorted(series):
             lines.append(f"{metric}{_prom_labels(key)} {series[key]:g}")
     for name in sorted(snapshot.get("histograms", {})):
         metric = _sanitize(name)
-        lines.append(f"# TYPE {metric} histogram")
+        _header(lines, metric, "histogram")
         series = snapshot["histograms"][name]
         for key in sorted(series):
             hist = series[key]

@@ -1,0 +1,29 @@
+"""``repro.service`` — campaign-as-a-service: jobs, scheduler, HTTP API.
+
+The campaign harness turned into a long-running multi-tenant backend:
+:mod:`repro.service.jobs` defines the validated, durably-persisted job
+model (``submitted → queued → running → done|failed|cancelled``),
+:mod:`repro.service.scheduler` feeds a priority queue into a bounded
+pool of campaign job processes with per-tenant result-cache shards and
+graceful-shutdown checkpointing, and :mod:`repro.service.api` serves the
+whole thing over a stdlib-only HTTP API (submit / status / NDJSON live
+stream / cooperative cancel / Prometheus ``/metrics``).
+
+Start it with ``python -m repro serve``; a job submitted over HTTP
+produces a manifest fingerprint byte-identical to the same campaign run
+from the CLI.
+"""
+
+from repro.service.api import CampaignService, ServiceThread, serve
+from repro.service.jobs import Job, JobStore, validate_job_payload
+from repro.service.scheduler import CampaignScheduler
+
+__all__ = [
+    "CampaignService",
+    "CampaignScheduler",
+    "Job",
+    "JobStore",
+    "ServiceThread",
+    "serve",
+    "validate_job_payload",
+]

@@ -1,0 +1,465 @@
+"""Stdlib-only HTTP API over the campaign scheduler.
+
+Hand-rolled HTTP/1.1 on ``asyncio.start_server`` — no framework, no new
+runtime dependency, every response ``Connection: close``. The surface:
+
+================================  =====================================
+``POST /jobs``                    submit a campaign job (validated; 400
+                                  returns ``{"errors": [{field,
+                                  message}, ...]}``)
+``GET /jobs[?tenant=t]``          list job records
+``GET /jobs/<id>``                one job's record + live progress +
+                                  manifest totals once it exists
+``GET /jobs/<id>/stream``         NDJSON live tail of the per-sample
+                                  checkpoint stream (follows until the
+                                  job is terminal)
+``DELETE /jobs/<id>``             cooperative cancel (job stays
+                                  resumable)
+``POST /jobs/<id>/resume``        re-queue a terminal job from its
+                                  checkpoints
+``GET /experiments``              experiment catalogue with grid presets
+                                  (valid ``POST /jobs`` payload space)
+``GET /metrics``                  Prometheus text exposition
+                                  (``text/plain; version=0.0.4``)
+``GET /healthz``                  liveness probe
+================================  =====================================
+
+:class:`CampaignService` binds a scheduler and this API to a socket;
+:func:`serve` is the ``python -m repro serve`` entry (SIGINT/SIGTERM →
+graceful shutdown: running jobs checkpoint and rewind to ``queued`` so a
+restarted server resumes them); :class:`ServiceThread` hosts the same
+service on a background thread for tests and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from repro.harness.manifest import read_manifest, status_counts
+from repro.service.scheduler import CampaignScheduler
+
+#: Largest request body accepted (a custom grid of config objects).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Exposition-format content type Prometheus scrapers negotiate.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 500: "Internal Server Error",
+}
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request; returns (method, path, query, body) or None."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise _HTTPError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        hline = await reader.readline()
+        if hline in (b"\r\n", b"\n", b""):
+            break
+        if b":" in hline:
+            key, value = hline.decode("latin-1").split(":", 1)
+            headers[key.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _HTTPError(400, "malformed Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise _HTTPError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length > 0 else b""
+    split = urlsplit(target)
+    return method.upper(), split.path, parse_qs(split.query), body
+
+
+async def _respond(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+) -> None:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+async def _respond_json(writer, status: int, payload: dict) -> None:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    await _respond(writer, status, body)
+
+
+class ServiceAPI:
+    """Routes HTTP requests onto a :class:`CampaignScheduler`."""
+
+    def __init__(self, scheduler: CampaignScheduler) -> None:
+        self.scheduler = scheduler
+        self.store = scheduler.store
+
+    async def handle(self, reader, writer) -> None:
+        method, route, status = "?", "?", 500
+        try:
+            request = await asyncio.wait_for(_read_request(reader), timeout=30.0)
+            if request is None:
+                return
+            method, path, query, body = request
+            status, route = await self._dispatch(method, path, query, body, writer)
+        except _HTTPError as exc:
+            status, route = exc.status, "bad-request"
+            await self._safe_error(writer, exc.status, str(exc))
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError):
+            return
+        except Exception as exc:  # one bad request must never kill the server
+            status = 500
+            await self._safe_error(writer, 500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self.scheduler.metrics.inc(
+                "service_http_requests_total",
+                method=method, route=route, status=status,
+            )
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _safe_error(self, writer, status: int, message: str) -> None:
+        try:
+            await _respond_json(writer, status, {"error": message})
+        except Exception:
+            pass
+
+    # ---------------------------------------------------------- routing
+    async def _dispatch(self, method, path, query, body, writer):
+        """Route one request; returns (status, route label)."""
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            await _respond_json(writer, 200, {"ok": True})
+            return 200, "/healthz"
+        if path == "/metrics" and method == "GET":
+            text = self._metrics_text()
+            await _respond(
+                writer, 200, text.encode("utf-8"), content_type=PROM_CONTENT_TYPE
+            )
+            return 200, "/metrics"
+        if path == "/experiments" and method == "GET":
+            from repro.experiments.campaigns import experiment_catalog
+
+            await _respond_json(
+                writer, 200, {"experiments": experiment_catalog()}
+            )
+            return 200, "/experiments"
+        if parts[:1] == ["jobs"]:
+            if len(parts) == 1:
+                if method == "POST":
+                    return await self._submit(body, writer), "/jobs"
+                if method == "GET":
+                    return await self._list(query, writer), "/jobs"
+                raise _HTTPError(405, f"{method} not allowed on /jobs")
+            job_id = parts[1]
+            if len(parts) == 2:
+                if method == "GET":
+                    return await self._status(job_id, writer), "/jobs/{id}"
+                if method == "DELETE":
+                    return await self._cancel(job_id, writer), "/jobs/{id}"
+                raise _HTTPError(405, f"{method} not allowed on /jobs/<id>")
+            if len(parts) == 3 and parts[2] == "stream" and method == "GET":
+                return await self._stream(job_id, writer), "/jobs/{id}/stream"
+            if len(parts) == 3 and parts[2] == "resume" and method == "POST":
+                return await self._resume(job_id, writer), "/jobs/{id}/resume"
+        await _respond_json(
+            writer, 404, {"error": f"no route for {method} {path}"}
+        )
+        return 404, "unknown"
+
+    def _metrics_text(self) -> str:
+        from repro.obs.export import prometheus_text
+
+        return prometheus_text(self.scheduler.metrics_snapshot())
+
+    # --------------------------------------------------------- handlers
+    async def _submit(self, body: bytes, writer) -> int:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await _respond_json(
+                writer, 400,
+                {"errors": [{"field": "", "message": f"invalid JSON body: {exc}"}]},
+            )
+            return 400
+        job, errors = self.scheduler.submit(payload)
+        if errors:
+            await _respond_json(writer, 400, {"errors": errors})
+            return 400
+        await _respond_json(writer, 201, {"job": job.to_dict()})
+        return 201
+
+    async def _list(self, query, writer) -> int:
+        tenant = (query.get("tenant") or [None])[0]
+        jobs = [job.to_dict() for job in self.store.list_jobs(tenant=tenant)]
+        await _respond_json(writer, 200, {"jobs": jobs})
+        return 200
+
+    async def _status(self, job_id: str, writer) -> int:
+        job = self.store.load(job_id)
+        if job is None:
+            await _respond_json(writer, 404, {"error": f"unknown job {job_id!r}"})
+            return 404
+        payload = {"job": job.to_dict()}
+        payload["progress"] = {"streamed": self._streamed(job_id)}
+        manifest_path = self.store.manifest_path(job_id)
+        if manifest_path.exists():
+            try:
+                manifest = read_manifest(manifest_path)
+            except (OSError, json.JSONDecodeError):
+                manifest = None
+            if manifest is not None:
+                payload["totals"] = manifest.get("totals")
+                payload["status_counts"] = status_counts(manifest)
+        await _respond_json(writer, 200, payload)
+        return 200
+
+    def _streamed(self, job_id: str) -> int:
+        """Completed samples so far = lines in the checkpoint stream."""
+        try:
+            with open(self.store.stream_path(job_id), "rb") as fh:
+                return sum(1 for _ in fh)
+        except OSError:
+            return 0
+
+    async def _cancel(self, job_id: str, writer) -> int:
+        job = self.scheduler.cancel(job_id)
+        if job is None:
+            await _respond_json(writer, 404, {"error": f"unknown job {job_id!r}"})
+            return 404
+        await _respond_json(writer, 202, {"job": job.to_dict()})
+        return 202
+
+    async def _resume(self, job_id: str, writer) -> int:
+        job = self.scheduler.requeue(job_id)
+        if job is None:
+            await _respond_json(writer, 404, {"error": f"unknown job {job_id!r}"})
+            return 404
+        await _respond_json(writer, 202, {"job": job.to_dict()})
+        return 202
+
+    async def _stream(self, job_id: str, writer) -> int:
+        """NDJSON live tail of the job's per-sample checkpoint stream."""
+        if self.store.load(job_id) is None:
+            await _respond_json(writer, 404, {"error": f"unknown job {job_id!r}"})
+            return 404
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        path = self.store.stream_path(job_id)
+        pos = 0
+        pending = b""
+        while True:
+            data = b""
+            try:
+                if os.path.getsize(path) < pos:
+                    pos, pending = 0, b""  # stream truncated by a relaunch
+                with open(path, "rb") as fh:
+                    fh.seek(pos)
+                    data = fh.read()
+                    pos += len(data)
+            except OSError:
+                pass
+            if data:
+                pending += data
+                lines = pending.split(b"\n")
+                pending = lines.pop()
+                for line in lines:
+                    writer.write(line + b"\n")
+                await writer.drain()
+            job = self.store.load(job_id)
+            if job is None or (job.terminal and not data):
+                break
+            await asyncio.sleep(0.1)
+        return 200
+
+
+class CampaignService:
+    """Scheduler + HTTP API bound to one socket; embeddable."""
+
+    def __init__(
+        self,
+        jobs_root: str | Path,
+        cache_root: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_jobs: int = 2,
+        grace_s: float = 5.0,
+        start_method: str | None = None,
+    ) -> None:
+        self.scheduler = CampaignScheduler(
+            jobs_root, cache_root,
+            max_jobs=max_jobs, grace_s=grace_s, start_method=start_method,
+        )
+        self.api = ServiceAPI(self.scheduler)
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> list:
+        """Bind the socket and recover interrupted jobs; returns them."""
+        recovered = self.scheduler.recover()
+        self._server = await asyncio.start_server(
+            self.api.handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return recovered
+
+    async def run(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then shut down gracefully."""
+        if self._server is None:
+            raise RuntimeError("CampaignService.run() before start()")
+        async with self._server:
+            await self._server.start_serving()
+            await self.scheduler.run(stop)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_jobs: int = 2,
+    cache_root: str | Path = ".repro-service/cache",
+    jobs_root: str | Path = ".repro-service/jobs",
+    grace_s: float = 5.0,
+) -> int:
+    """``python -m repro serve``: run the service until SIGINT/SIGTERM.
+
+    Shutdown is graceful — running campaigns stop at the next sample
+    boundary (completed samples checkpointed) and their jobs rewind to
+    ``queued``; starting the server again against the same ``jobs_root``
+    resumes them to a fingerprint identical to an uninterrupted run.
+    """
+
+    async def _main() -> None:
+        service = CampaignService(
+            jobs_root, cache_root,
+            host=host, port=port, max_jobs=max_jobs, grace_s=grace_s,
+        )
+        recovered = await service.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        print(
+            f"campaign service listening on http://{service.host}:{service.port} "
+            f"(max {max_jobs} concurrent jobs)",
+            flush=True,
+        )
+        if recovered:
+            print(
+                f"recovered {len(recovered)} interrupted job(s); resuming",
+                flush=True,
+            )
+        await service.run(stop)
+        print(
+            "campaign service stopped; interrupted jobs are checkpointed "
+            "and will resume on restart",
+            flush=True,
+        )
+
+    asyncio.run(_main())
+    return 0
+
+
+class ServiceThread:
+    """Host a :class:`CampaignService` on a background thread.
+
+    The embedding used by the test suite and benchmarks (and handy in
+    notebooks): ``start()`` blocks until the socket is bound and exposes
+    ``base_url``; ``stop()`` triggers the same graceful shutdown as
+    SIGTERM. Job processes are spawned (never forked) because the
+    embedding process is multi-threaded by construction.
+    """
+
+    def __init__(self, **service_kwargs) -> None:
+        self._kwargs = dict(service_kwargs)
+        self._kwargs.setdefault("start_method", "spawn")
+        self.service: CampaignService | None = None
+        self.recovered: list = []
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="campaign-service", daemon=True,
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("campaign service failed to start in 30 s")
+        if self._error is not None:
+            raise RuntimeError("campaign service failed to start") from self._error
+        return self
+
+    async def _main(self) -> None:
+        try:
+            self._loop = asyncio.get_running_loop()
+            self.service = CampaignService(**self._kwargs)
+            self.recovered = await self.service.start()
+            self._stop = asyncio.Event()
+        except BaseException as exc:
+            self._error = exc
+            self._started.set()
+            raise
+        self._started.set()
+        await self.service.run(self._stop)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,375 @@
+"""Job model for the campaign service: validation, records, durable store.
+
+A *job* is one campaign run owned by a tenant: which experiment, which
+grid (preset name or explicit config list), the root seed, per-campaign
+worker count, and a scheduling priority. Jobs move through a small state
+machine::
+
+    submitted -> queued -> running -> done | failed | cancelled
+                    ^------- (restart / resume) -------'
+
+Every transition is persisted as an atomic on-disk record
+(``<jobs_root>/<id>/job.json``), so a killed server can
+:meth:`JobStore.recover` on restart: jobs caught in ``queued`` or
+``running`` are re-queued and their campaigns resume from the per-sample
+checkpoint stream (``run_campaign(..., resume=True)``) — completed
+samples are cache hits, only in-flight work re-runs, and the final
+manifest fingerprint is identical to an uninterrupted run.
+
+Submission payloads are validated *structurally* before a job exists:
+unknown fields, unregistered experiments, unknown grid presets, and —
+for custom grids that embed a ``"scenario"`` object — every problem the
+PR 6 scenario linter (:func:`repro.scenario.lint_scenario`) reports,
+each as a ``{"field", "message"}`` pair naming the offending field
+(``grid[3].scenario.uavs[0].battery_wh`` style), so API clients get
+machine-actionable errors instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.harness.cache import DEFAULT_TENANT, validate_tenant_id
+
+#: Every state a job record may carry.
+JOB_STATES = ("submitted", "queued", "running", "done", "failed", "cancelled")
+
+#: States in which a job no longer occupies (or awaits) a worker slot.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Fields a ``POST /jobs`` payload may carry.
+KNOWN_JOB_FIELDS = (
+    "tenant", "experiment", "grid", "root_seed", "workers", "priority", "batch",
+)
+
+#: Upper bound on per-campaign worker processes a job may request.
+MAX_JOB_WORKERS = 16
+
+
+def _error(field_name: str, message: str) -> dict:
+    return {"field": field_name, "message": message}
+
+
+def _validate_int(payload: dict, name: str, errors: list[dict],
+                  minimum: int | None = None, maximum: int | None = None) -> None:
+    value = payload.get(name)
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int):
+        errors.append(_error(name, f"expected an integer, got {value!r}"))
+        return
+    if minimum is not None and value < minimum:
+        errors.append(_error(name, f"must be >= {minimum}, got {value}"))
+    if maximum is not None and value > maximum:
+        errors.append(_error(name, f"must be <= {maximum}, got {value}"))
+
+
+def _validate_grid_preset(experiment, preset: str, errors: list[dict]) -> None:
+    """Check a preset name against the experiment's declared catalogue.
+
+    Membership is checked against ``experiment.presets`` (cheap) rather
+    than resolving the grid — resolving e.g. a fuzz grid generates and
+    lints hundreds of scenarios, which does not belong in the submit
+    path. Parameterized presets (``profile:count``) validate the base
+    name and the count.
+    """
+    base, sep, count_text = preset.partition(":")
+    if base not in experiment.presets:
+        errors.append(_error(
+            "grid",
+            f"unknown grid preset {preset!r} for experiment "
+            f"{experiment.name!r}; known presets: {list(experiment.presets)}",
+        ))
+        return
+    if sep:
+        try:
+            count = int(count_text)
+        except ValueError:
+            errors.append(_error(
+                "grid", f"preset count must be an integer, got {count_text!r}"
+            ))
+            return
+        if count < 1:
+            errors.append(_error("grid", f"preset count must be >= 1, got {count}"))
+
+
+def _validate_custom_grid(configs: list, errors: list[dict]) -> None:
+    from repro.scenario import lint_scenario
+
+    if not configs:
+        errors.append(_error("grid", "custom grid must contain at least one config"))
+        return
+    for i, config in enumerate(configs):
+        if not isinstance(config, dict):
+            errors.append(_error(
+                f"grid[{i}]",
+                f"expected a JSON object, got {type(config).__name__}",
+            ))
+            continue
+        try:
+            json.dumps(config)
+        except (TypeError, ValueError):
+            errors.append(_error(f"grid[{i}]", "config is not JSON-serializable"))
+            continue
+        scenario = config.get("scenario")
+        if scenario is not None:
+            try:
+                problems = lint_scenario(scenario)
+            except Exception as exc:  # loader crash on grossly malformed input
+                problems = [f"unloadable scenario: {type(exc).__name__}: {exc}"]
+            for problem in problems:
+                errors.append(_error(f"grid[{i}].scenario", problem))
+
+
+def validate_job_payload(payload: Any) -> list[dict]:
+    """Validate a job-submission payload; returns structured field errors.
+
+    Empty list = acceptable. Each error is ``{"field": ..., "message":
+    ...}`` with the field path spelled out (``grid[2].scenario.chaos.mode``
+    style for embedded scenarios), mirroring the scenario linter's
+    naming discipline.
+    """
+    if not isinstance(payload, dict):
+        return [_error("", f"expected a JSON object, got {type(payload).__name__}")]
+    errors: list[dict] = []
+    for key in sorted(set(payload) - set(KNOWN_JOB_FIELDS)):
+        errors.append(_error(
+            str(key), f"unknown field (known: {list(KNOWN_JOB_FIELDS)})"
+        ))
+
+    tenant = payload.get("tenant", DEFAULT_TENANT)
+    problem = validate_tenant_id(tenant)
+    if problem is not None:
+        errors.append(_error("tenant", problem))
+
+    from repro.experiments.campaigns import get_experiment
+
+    name = payload.get("experiment")
+    experiment = None
+    if not isinstance(name, str) or not name:
+        errors.append(_error(
+            "experiment", f"required and must be a string, got {name!r}"
+        ))
+    else:
+        try:
+            experiment = get_experiment(name)
+        except KeyError as exc:
+            errors.append(_error("experiment", exc.args[0]))
+
+    grid = payload.get("grid", "default")
+    if isinstance(grid, str):
+        if experiment is not None:
+            _validate_grid_preset(experiment, grid, errors)
+    elif isinstance(grid, list):
+        _validate_custom_grid(grid, errors)
+    else:
+        errors.append(_error(
+            "grid",
+            "expected a preset name or a list of config objects, "
+            f"got {type(grid).__name__}",
+        ))
+
+    _validate_int(payload, "root_seed", errors)
+    _validate_int(payload, "workers", errors, minimum=1, maximum=MAX_JOB_WORKERS)
+    _validate_int(payload, "priority", errors)
+    batch = payload.get("batch")
+    if batch is not None and not isinstance(batch, bool):
+        errors.append(_error("batch", f"expected a boolean, got {batch!r}"))
+    return errors
+
+
+@dataclass
+class Job:
+    """One campaign run owned by a tenant, as persisted on disk."""
+
+    id: str
+    tenant: str
+    experiment: str
+    grid: str | list
+    root_seed: int = 0
+    workers: int = 1
+    priority: int = 0
+    batch: bool = False
+    state: str = "submitted"
+    seq: int = 0
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Manifest fingerprint once the campaign finished cleanly.
+    fingerprint: str | None = None
+    #: ``totals`` block of the finished manifest (schema v3).
+    totals: dict | None = None
+    #: Structured error for ``failed`` jobs.
+    error: dict | None = None
+    #: Samples completed when the job was cancelled (progress marker).
+    completed: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "experiment": self.experiment,
+            "grid": self.grid,
+            "root_seed": self.root_seed,
+            "workers": self.workers,
+            "priority": self.priority,
+            "batch": self.batch,
+            "state": self.state,
+            "seq": self.seq,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "fingerprint": self.fingerprint,
+            "totals": self.totals,
+            "error": self.error,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_payload(cls, payload: dict, seq: int) -> "Job":
+        """Build a fresh job from a *validated* submission payload."""
+        return cls(
+            id=f"job-{uuid.uuid4().hex[:12]}",
+            tenant=payload.get("tenant", DEFAULT_TENANT),
+            experiment=payload["experiment"],
+            grid=payload.get("grid", "default"),
+            root_seed=int(payload.get("root_seed", 0)),
+            workers=int(payload.get("workers", 1)),
+            priority=int(payload.get("priority", 0)),
+            batch=bool(payload.get("batch", False)),
+            state="submitted",
+            seq=seq,
+            submitted_at=time.time(),
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class JobStore:
+    """Durable on-disk job records: ``<root>/<id>/job.json``.
+
+    Each job owns a directory holding its record plus the artifacts the
+    scheduler and API build on: ``stream.ndjson`` (live per-sample
+    checkpoint tail), ``manifest.json`` (written by the campaign on
+    completion), ``outcome.json`` (terminal verdict written by the job
+    process), and the ``cancel`` marker file (cooperative cancellation
+    flag polled by the running campaign). Records are written atomically
+    (temp + fsync + rename), same discipline as the result cache.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ----------------------------------------------------------- paths
+    def job_dir(self, job_id: str) -> Path:
+        return self.root / job_id
+
+    def record_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def stream_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "stream.ndjson"
+
+    def manifest_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "manifest.json"
+
+    def outcome_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "outcome.json"
+
+    def cancel_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "cancel"
+
+    # ----------------------------------------------------------- store
+    def save(self, job: Job) -> None:
+        """Atomically persist ``job`` (durable across a server kill)."""
+        path = self.record_path(job.id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(job.to_dict(), handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load(self, job_id: str) -> Job | None:
+        """The stored job, or None if unknown/corrupt."""
+        try:
+            with open(self.record_path(job_id), encoding="utf-8") as handle:
+                return Job.from_dict(json.load(handle))
+        except (OSError, json.JSONDecodeError, TypeError):
+            return None
+
+    def list_jobs(self, tenant: str | None = None) -> list[Job]:
+        """All stored jobs (optionally one tenant's), in submission order."""
+        jobs = []
+        if self.root.is_dir():
+            for entry in self.root.iterdir():
+                if not entry.is_dir():
+                    continue
+                job = self.load(entry.name)
+                if job is not None and (tenant is None or job.tenant == tenant):
+                    jobs.append(job)
+        return sorted(jobs, key=lambda j: (j.seq, j.id))
+
+    def next_seq(self) -> int:
+        """A submission sequence number above every stored job's."""
+        jobs = self.list_jobs()
+        return (max(j.seq for j in jobs) + 1) if jobs else 1
+
+    def request_cancel(self, job_id: str) -> None:
+        """Raise the cooperative-cancel flag the running campaign polls."""
+        path = self.cancel_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.touch()
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return self.cancel_path(job_id).exists()
+
+    def clear_cancel(self, job_id: str) -> None:
+        try:
+            self.cancel_path(job_id).unlink()
+        except OSError:
+            pass
+
+    def recover(self) -> list[Job]:
+        """Re-queue jobs interrupted by a server death; returns them.
+
+        Jobs found in ``submitted``/``queued``/``running`` were lost
+        mid-flight: their state rewinds to ``queued`` (stale cancel
+        markers cleared) and the scheduler re-runs them with
+        ``resume=True`` — completed samples come back as cache hits, so
+        the resumed manifest fingerprints identically to an
+        uninterrupted run. Terminal jobs are left untouched.
+        """
+        requeued = []
+        for job in self.list_jobs():
+            if job.terminal:
+                continue
+            self.clear_cancel(job.id)
+            job.state = "queued"
+            job.started_at = None
+            self.save(job)
+            requeued.append(job)
+        return requeued

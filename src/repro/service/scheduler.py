@@ -1,0 +1,377 @@
+"""Asyncio job scheduler: a priority queue feeding campaign processes.
+
+The scheduler owns the job lifecycle between ``queued`` and a terminal
+state. Queued jobs sit in a priority heap (higher ``priority`` first,
+FIFO within a priority); at most ``max_jobs`` campaigns execute at once,
+each in its own child process so the event loop — and the HTTP API it
+serves — stays live while simulations grind. The job process runs
+:func:`repro.harness.campaign.run_campaign` with ``resume=True`` against
+the tenant's private cache shard (:func:`~repro.harness.cache.tenant_cache_dir`),
+streams every finished sample to ``stream.ndjson`` via the
+:class:`~repro.harness.campaign.CampaignControl` hook, and writes a
+terminal ``outcome.json`` the parent folds back into the job record.
+
+Fingerprint faithfulness: the scheduler passes (experiment, grid,
+root_seed, workers, batch) through to ``run_campaign`` untouched and
+adds no configuration of its own, so a job submitted over HTTP produces
+a manifest fingerprint byte-identical to the same campaign run from the
+CLI.
+
+Cancellation is cooperative: ``cancel()`` raises an on-disk flag
+(``cancel`` marker) the running campaign polls between samples; the
+campaign stops at the next sample boundary, in-flight attempts are
+terminated un-checkpointed, and the job lands in ``cancelled`` — still
+resumable, because completed samples stayed in the cache. Graceful
+shutdown uses the same flag against every running job, waits out a grace
+period, then terminates stragglers and rewinds their jobs to ``queued``
+so a restarted server resumes them (:meth:`CampaignScheduler.recover`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.harness.cache import tenant_cache_dir
+from repro.obs.metrics import MetricsRegistry
+from repro.service.jobs import Job, JobStore, validate_job_payload
+
+
+def _write_json(path: Path, obj: dict) -> None:
+    path.write_text(json.dumps(obj, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def _job_entry(job_data: dict, job_dir: str, cache_dir: str) -> None:
+    """Job child process: run the campaign, stream samples, report back.
+
+    Runs in its own process (fork or spawn) so a long campaign never
+    blocks the scheduler's event loop, and a hard crash takes out only
+    this job. The campaign itself may shard further across its own
+    worker pool (``job.workers``). The terminal verdict is written to
+    ``outcome.json`` — exit codes are deliberately not load-bearing.
+    """
+    import repro.experiments.campaigns  # noqa: F401  (registers every experiment)
+    from repro.harness.campaign import (
+        CampaignAborted,
+        CampaignCancelled,
+        CampaignControl,
+        run_campaign,
+    )
+
+    job = Job.from_dict(job_data)
+    base = Path(job_dir)
+    cancel_path = base / "cancel"
+    with open(base / "stream.ndjson", "w", encoding="utf-8") as stream:
+        def on_record(record: dict) -> None:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+            stream.flush()
+
+        control = CampaignControl(
+            should_cancel=cancel_path.exists, on_record=on_record
+        )
+        try:
+            result = run_campaign(
+                job.experiment,
+                grid=job.grid,
+                root_seed=job.root_seed,
+                workers=job.workers,
+                cache_dir=cache_dir,
+                manifest_path=base / "manifest.json",
+                resume=True,
+                batch=job.batch,
+                control=control,
+            )
+            outcome = {
+                "state": "done",
+                "fingerprint": result.fingerprint,
+                "totals": result.manifest["totals"],
+            }
+        except CampaignCancelled as exc:
+            outcome = {
+                "state": "cancelled",
+                "completed": exc.completed,
+                "total": exc.total,
+            }
+        except CampaignAborted as exc:
+            outcome = {
+                "state": "failed",
+                "error": {"type": "CampaignAborted", "message": str(exc)},
+            }
+        except BaseException as exc:
+            outcome = {
+                "state": "failed",
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+    _write_json(base / "outcome.json", outcome)
+
+
+def _job_context(start_method: str | None) -> multiprocessing.context.BaseContext:
+    """Pick the start method for job processes.
+
+    Fork is fastest (and inherits registered experiments), but forking a
+    multi-threaded process risks deadlocks — an embedded service runs
+    the event loop on a background thread — so anything beyond the lone
+    main thread falls back to spawn, where :func:`_job_entry` re-imports
+    the experiment registry itself.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+@dataclass
+class _RunningJob:
+    job: Job
+    process: multiprocessing.process.BaseProcess
+    started: float
+
+
+class CampaignScheduler:
+    """Priority queue + bounded pool of campaign job processes."""
+
+    def __init__(
+        self,
+        jobs_root: str | Path,
+        cache_root: str | Path,
+        max_jobs: int = 2,
+        grace_s: float = 5.0,
+        start_method: str | None = None,
+    ) -> None:
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.store = JobStore(jobs_root)
+        self.cache_root = Path(cache_root)
+        self.max_jobs = max_jobs
+        self.grace_s = grace_s
+        self.metrics = MetricsRegistry()
+        self._start_method = start_method
+        self._heap: list[tuple[int, int, str]] = []
+        self._running: dict[str, _RunningJob] = {}
+        self._seq = self.store.next_seq()
+        self._stopping = False
+
+    # ------------------------------------------------------------ intake
+    def recover(self) -> list[Job]:
+        """Re-queue jobs a dead server left in flight; returns them."""
+        requeued = self.store.recover()
+        for job in requeued:
+            heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+        self._seq = self.store.next_seq()
+        return requeued
+
+    def submit(self, payload: dict) -> tuple[Job | None, list[dict]]:
+        """Validate and enqueue one job; returns (job, field errors)."""
+        errors = validate_job_payload(payload)
+        if errors:
+            self.metrics.inc("service_jobs_rejected_total")
+            return None, errors
+        job = Job.from_payload(payload, self._seq)
+        self._seq += 1
+        self.store.save(job)  # durable in "submitted" before it can run
+        self._enqueue(job)
+        self.metrics.inc(
+            "service_jobs_submitted_total",
+            experiment=job.experiment, tenant=job.tenant,
+        )
+        return job, []
+
+    def _enqueue(self, job: Job) -> None:
+        job.state = "queued"
+        self.store.save(job)
+        heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+
+    def requeue(self, job_id: str) -> Job | None:
+        """Resume a terminal job: wipe its verdict and queue it again.
+
+        Cancelled and failed jobs pick up from their checkpoints
+        (completed samples are cache hits); resuming a ``done`` job is
+        an idempotent no-op sweep that reproduces the same fingerprint.
+        """
+        job = self.store.load(job_id)
+        if job is None or not job.terminal:
+            return job
+        self.store.clear_cancel(job_id)
+        try:
+            self.store.outcome_path(job_id).unlink()
+        except OSError:
+            pass
+        job.fingerprint = None
+        job.totals = None
+        job.error = None
+        job.completed = None
+        job.finished_at = None
+        self._enqueue(job)
+        return job
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Cancel a job cooperatively; returns its current record.
+
+        Queued jobs are cancelled outright. Running jobs get the on-disk
+        cancel flag and transition once the campaign stops at the next
+        sample boundary — completed samples stay checkpointed, so the
+        job remains resumable (:meth:`requeue`).
+        """
+        job = self.store.load(job_id)
+        if job is None or job.terminal:
+            return job
+        if job_id in self._running:
+            self.store.request_cancel(job_id)
+            return self.store.load(job_id)
+        job.state = "cancelled"
+        job.finished_at = time.time()
+        self.store.save(job)
+        self.metrics.inc("service_jobs_finished_total", state="cancelled")
+        return job
+
+    # --------------------------------------------------------- execution
+    def tick(self) -> None:
+        """One scheduler pass: reap finished jobs, fill free slots."""
+        self._poll_running()
+        self._fill_slots()
+        self.metrics.gauge("service_jobs_running", len(self._running))
+        self.metrics.gauge("service_jobs_queued", len(self._heap))
+
+    def _fill_slots(self) -> None:
+        while (
+            self._heap
+            and len(self._running) < self.max_jobs
+            and not self._stopping
+        ):
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self.store.load(job_id)
+            if job is None or job.state != "queued":
+                continue  # cancelled (or vanished) while waiting
+            self._launch(job)
+
+    def _launch(self, job: Job) -> None:
+        job_dir = self.store.job_dir(job.id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        self.store.clear_cancel(job.id)
+        try:
+            self.store.outcome_path(job.id).unlink()
+        except OSError:
+            pass
+        cache_dir = tenant_cache_dir(self.cache_root, job.tenant)
+        ctx = _job_context(self._start_method)
+        process = ctx.Process(
+            target=_job_entry,
+            args=(job.to_dict(), str(job_dir), str(cache_dir)),
+            name=f"service-{job.id}",
+        )
+        process.start()
+        job.state = "running"
+        job.started_at = time.time()
+        self.store.save(job)
+        self._running[job.id] = _RunningJob(job, process, time.monotonic())
+
+    def _poll_running(self) -> None:
+        for job_id, slot in list(self._running.items()):
+            if slot.process.is_alive():
+                continue
+            slot.process.join()
+            del self._running[job_id]
+            self._finish(job_id, slot)
+
+    def _finish(self, job_id: str, slot: _RunningJob) -> None:
+        """Fold a finished job process's outcome into its record."""
+        job = self.store.load(job_id) or slot.job
+        outcome = None
+        try:
+            with open(self.store.outcome_path(job_id), encoding="utf-8") as fh:
+                outcome = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            pass
+        if outcome is None:
+            outcome = {
+                "state": "failed",
+                "error": {
+                    "type": "JobCrash",
+                    "message": (
+                        f"job process exited with code {slot.process.exitcode} "
+                        "before reporting an outcome"
+                    ),
+                },
+            }
+        if self._stopping and outcome["state"] == "cancelled":
+            # Shutdown, not a user cancel: rewind to queued so the next
+            # server start resumes from the checkpoints.
+            self._requeue_for_restart(job)
+            return
+        job.state = outcome["state"]
+        job.fingerprint = outcome.get("fingerprint")
+        job.totals = outcome.get("totals")
+        job.error = outcome.get("error")
+        job.completed = outcome.get("completed")
+        job.finished_at = time.time()
+        self.store.save(job)
+        self.store.clear_cancel(job_id)
+        self.metrics.inc("service_jobs_finished_total", state=job.state)
+        self.metrics.observe(
+            "service_job_duration_seconds",
+            max(0.0, job.finished_at - job.submitted_at),
+            experiment=job.experiment,
+        )
+
+    def _requeue_for_restart(self, job: Job) -> None:
+        self.store.clear_cancel(job.id)
+        try:
+            self.store.outcome_path(job.id).unlink()
+        except OSError:
+            pass
+        job.state = "queued"
+        job.started_at = None
+        self.store.save(job)
+
+    # ------------------------------------------------------ service loop
+    async def run(self, stop: asyncio.Event, poll_s: float = 0.05) -> None:
+        """Drive the scheduler until ``stop`` is set, then shut down."""
+        while not stop.is_set():
+            self.tick()
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=poll_s)
+            except asyncio.TimeoutError:
+                pass
+        await self.shutdown()
+
+    async def run_until_idle(self, poll_s: float = 0.02) -> None:
+        """Drive until the queue and the running set are both empty."""
+        while self._heap or self._running:
+            self.tick()
+            await asyncio.sleep(poll_s)
+
+    async def shutdown(self) -> None:
+        """Graceful stop: checkpoint running jobs and rewind them to queued.
+
+        Raises the cooperative cancel flag against every running
+        campaign, waits up to ``grace_s`` for them to stop at a sample
+        boundary (checkpointing completed work), then terminates
+        stragglers. Either way the jobs land back in ``queued`` on disk,
+        which is what makes kill-and-restart resume work.
+        """
+        self._stopping = True
+        for job_id in self._running:
+            self.store.request_cancel(job_id)
+        deadline = time.monotonic() + self.grace_s
+        while self._running and time.monotonic() < deadline:
+            self._poll_running()
+            if self._running:
+                await asyncio.sleep(0.05)
+        for job_id, slot in list(self._running.items()):
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join()
+            del self._running[job_id]
+            self._requeue_for_restart(self.store.load(job_id) or slot.job)
+
+    # ----------------------------------------------------------- queries
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()

@@ -320,3 +320,41 @@ class TestPrometheusExport:
         assert 'lat_s_bucket{le="1"} 2' in text
         assert 'lat_s_bucket{le="+Inf"} 3' in text
         assert "lat_s_count 3" in text
+
+    def test_label_values_escaped_for_scrapers(self):
+        # A label derived from an error message may carry every character
+        # the exposition format treats specially; an unescaped newline
+        # would split the sample line and break the scrape.
+        reg = MetricsRegistry()
+        reg.inc("errs_total", message='path\\tmp "x"\nboom')
+        text = prometheus_text(reg.snapshot())
+        assert 'message="path\\\\tmp \\"x\\"\\nboom"' in text
+        # One physical line per sample: nothing leaked a raw newline.
+        for line in text.splitlines():
+            assert line.startswith("#") or line.count(" ") >= 1
+
+    def test_every_family_has_help_and_type(self):
+        reg = MetricsRegistry()
+        reg.inc("service_jobs_submitted_total", experiment="x", tenant="t")
+        reg.gauge("service_jobs_running", 1)
+        reg.observe("service_job_duration_seconds", 2.5, experiment="x")
+        reg.inc("made_up_metric_total")
+        text = prometheus_text(reg.snapshot())
+        assert "# HELP service_jobs_submitted_total Jobs accepted" in text
+        assert "# TYPE service_jobs_submitted_total counter" in text
+        assert "# TYPE service_jobs_running gauge" in text
+        assert "# TYPE service_job_duration_seconds histogram" in text
+        # Unknown families still get the header pair scrapers expect.
+        assert "# HELP made_up_metric_total" in text
+        assert "# TYPE made_up_metric_total counter" in text
+        # Headers precede their family's first sample.
+        lines = text.splitlines()
+        type_at = lines.index("# TYPE service_jobs_submitted_total counter")
+        sample_at = next(
+            i for i, l in enumerate(lines)
+            if l.startswith("service_jobs_submitted_total{")
+        )
+        assert type_at < sample_at
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_text(empty_snapshot()) == ""

@@ -1,0 +1,205 @@
+"""End-to-end campaign service over real HTTP on an ephemeral port.
+
+One :class:`~repro.service.api.ServiceThread` per module (job processes
+are spawned, so each boot costs real time) exercises the full surface:
+submit → live NDJSON tail → terminal record whose fingerprint equals a
+direct :func:`run_campaign` of the same config, plus structured 400s,
+cancel/resume over HTTP, the experiment catalogue, and a Prometheus
+scrape that stays well-formed while jobs run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.experiments.campaigns  # noqa: F401  (registers experiments)
+from repro.harness.campaign import run_campaign
+from repro.service.api import PROM_CONTENT_TYPE, ServiceThread
+
+SLEEPY_GRID = [{"n": 64, "loc": 0.0, "sleep_s": 0.2} for _ in range(10)]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service")
+    with ServiceThread(
+        jobs_root=root / "jobs", cache_root=root / "cache", max_jobs=2
+    ) as svc:
+        yield svc
+
+
+def request(server, method: str, path: str, payload=None):
+    """One HTTP round trip; returns (status, content-type, parsed body)."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        server.base_url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            status, ctype = resp.status, resp.headers.get("Content-Type")
+            raw = resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        status, ctype = exc.code, exc.headers.get("Content-Type")
+        raw = exc.read().decode()
+    body = json.loads(raw) if ctype == "application/json" else raw
+    return status, ctype, body
+
+
+def tail_stream(server, job_id: str) -> list[dict]:
+    """Follow /jobs/<id>/stream until the server closes it."""
+    with urllib.request.urlopen(
+        server.base_url + f"/jobs/{job_id}/stream", timeout=120
+    ) as resp:
+        assert resp.headers.get("Content-Type") == "application/x-ndjson"
+        return [json.loads(line) for line in resp]
+
+
+def wait_terminal(server, job_id: str) -> dict:
+    """Block on the stream (it follows until terminal), then fetch."""
+    tail_stream(server, job_id)
+    _, _, body = request(server, "GET", f"/jobs/{job_id}")
+    return body
+
+
+class TestLifecycle:
+    def test_healthz(self, server):
+        assert request(server, "GET", "/healthz") == (
+            200, "application/json", {"ok": True}
+        )
+
+    def test_submit_stream_and_fingerprint_matches_direct_run(self, server):
+        status, _, body = request(
+            server, "POST", "/jobs",
+            {"experiment": "monte-carlo", "grid": "smoke", "tenant": "alice"},
+        )
+        assert status == 201
+        job = body["job"]
+        assert job["state"] in ("submitted", "queued")
+
+        records = tail_stream(server, job["id"])
+        direct = run_campaign("monte-carlo", grid="smoke", root_seed=0, workers=1)
+        assert sorted(r["index"] for r in records) == list(
+            range(len(direct.records))
+        )
+
+        _, _, doc = request(server, "GET", f"/jobs/{job['id']}")
+        assert doc["job"]["state"] == "done"
+        # The service adds nothing to the campaign: same fingerprint as
+        # running it directly.
+        assert doc["job"]["fingerprint"] == direct.fingerprint
+        assert doc["totals"]["samples"] == len(direct.records)
+        assert doc["status_counts"]["ok"] == len(direct.records)
+        assert doc["progress"]["streamed"] == len(direct.records)
+
+    def test_job_listing_and_tenant_filter(self, server):
+        _, _, body = request(
+            server, "POST", "/jobs",
+            {"experiment": "synthetic", "grid": "smoke", "tenant": "bob"},
+        )
+        bob_id = body["job"]["id"]
+        wait_terminal(server, bob_id)
+        _, _, everyone = request(server, "GET", "/jobs")
+        assert bob_id in {j["id"] for j in everyone["jobs"]}
+        _, _, only_bob = request(server, "GET", "/jobs?tenant=bob")
+        assert {j["tenant"] for j in only_bob["jobs"]} == {"bob"}
+        assert bob_id in {j["id"] for j in only_bob["jobs"]}
+
+    def test_cancel_then_resume_over_http(self, server):
+        _, _, body = request(
+            server, "POST", "/jobs",
+            {"experiment": "synthetic", "grid": SLEEPY_GRID},
+        )
+        job_id = body["job"]["id"]
+        # Wait for some progress, then cancel.
+        for _ in range(600):
+            _, _, doc = request(server, "GET", f"/jobs/{job_id}")
+            if doc["progress"]["streamed"] >= 2:
+                break
+            time.sleep(0.1)
+        assert doc["progress"]["streamed"] >= 2, "job never made progress"
+        status, _, body = request(server, "DELETE", f"/jobs/{job_id}")
+        assert status == 202
+        doc = wait_terminal(server, job_id)
+        assert doc["job"]["state"] == "cancelled"
+        assert 0 < doc["job"]["completed"] < len(SLEEPY_GRID)
+
+        status, _, _ = request(server, "POST", f"/jobs/{job_id}/resume")
+        assert status == 202
+        doc = wait_terminal(server, job_id)
+        assert doc["job"]["state"] == "done"
+        assert doc["totals"]["cached"] >= doc["totals"]["samples"] - (
+            len(SLEEPY_GRID) - 2
+        )
+        direct = run_campaign(
+            "synthetic", grid=SLEEPY_GRID, root_seed=0, workers=1
+        )
+        assert doc["job"]["fingerprint"] == direct.fingerprint
+
+
+class TestValidationAndErrors:
+    def test_bad_submit_returns_structured_field_errors(self, server):
+        status, _, body = request(
+            server, "POST", "/jobs",
+            {"experiment": "nope", "grid": "x", "bogus": 1},
+        )
+        assert status == 400
+        fields = {e["field"] for e in body["errors"]}
+        assert {"experiment", "bogus"} <= fields
+
+    def test_invalid_json_body(self, server):
+        req = urllib.request.Request(
+            server.base_url + "/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=30)
+        assert exc_info.value.code == 400
+        errors = json.loads(exc_info.value.read())["errors"]
+        assert "invalid JSON" in errors[0]["message"]
+
+    def test_unknown_job_and_route_are_404(self, server):
+        assert request(server, "GET", "/jobs/job-missing")[0] == 404
+        assert request(server, "DELETE", "/jobs/job-missing")[0] == 404
+        assert request(server, "GET", "/nope")[0] == 404
+
+    def test_method_not_allowed(self, server):
+        assert request(server, "PUT", "/jobs", {})[0] == 405
+
+
+class TestCatalogAndMetrics:
+    def test_experiments_catalog(self, server):
+        status, _, body = request(server, "GET", "/experiments")
+        assert status == 200
+        catalog = {e["name"]: e for e in body["experiments"]}
+        assert "monte-carlo" in catalog
+        assert "smoke" in catalog["synthetic"]["presets"]
+        assert all(e["describe"] for e in body["experiments"])
+
+    def test_metrics_valid_while_job_runs(self, server):
+        _, _, body = request(
+            server, "POST", "/jobs",
+            {"experiment": "synthetic", "grid": SLEEPY_GRID, "root_seed": 9},
+        )
+        job_id = body["job"]["id"]
+        status, ctype, text = request(server, "GET", "/metrics")
+        assert status == 200
+        assert ctype == PROM_CONTENT_TYPE
+        # Well-formed exposition: every non-comment line is `name{...} value`.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part, line
+            float(value)  # must parse
+        assert "# TYPE service_jobs_submitted_total counter" in text
+        assert "# HELP service_jobs_submitted_total" in text
+        assert 'service_jobs_submitted_total{' in text
+        assert "service_http_requests_total{" in text
+        wait_terminal(server, job_id)
+        _, _, text = request(server, "GET", "/metrics")
+        assert 'service_jobs_finished_total{state="done"}' in text

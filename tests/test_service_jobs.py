@@ -1,0 +1,230 @@
+"""Service job model: payload validation, durable store, tenant sharding.
+
+The parts of :mod:`repro.service` that need no running scheduler: the
+structured field errors POST /jobs returns, the atomic on-disk job
+records a restarted server recovers from, and the per-tenant cache
+sharding that keeps one tenant's results out of another's manifests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.campaigns  # noqa: F401  (registers experiments)
+from repro.harness.cache import (
+    DEFAULT_TENANT,
+    tenant_cache_dir,
+    validate_tenant_id,
+)
+from repro.service.jobs import (
+    Job,
+    JobStore,
+    validate_job_payload,
+)
+
+
+def errors_by_field(errors: list[dict]) -> dict[str, str]:
+    return {e["field"]: e["message"] for e in errors}
+
+
+class TestValidateJobPayload:
+    def test_valid_smoke_payload(self):
+        assert validate_job_payload(
+            {"experiment": "monte-carlo", "grid": "smoke"}
+        ) == []
+
+    def test_valid_custom_grid(self):
+        payload = {
+            "experiment": "synthetic",
+            "grid": [{"n": 64, "loc": 0.0}, {"n": 64, "loc": 1.0}],
+            "tenant": "alice",
+            "root_seed": 3,
+            "workers": 2,
+            "priority": 5,
+        }
+        assert validate_job_payload(payload) == []
+
+    def test_unknown_field_rejected(self):
+        fields = errors_by_field(
+            validate_job_payload(
+                {"experiment": "monte-carlo", "grid": "smoke", "bogus": 1}
+            )
+        )
+        assert "bogus" in fields
+        assert "unknown field" in fields["bogus"]
+
+    def test_unknown_experiment_lists_registered(self):
+        fields = errors_by_field(
+            validate_job_payload({"experiment": "nope", "grid": "smoke"})
+        )
+        assert "monte-carlo" in fields["experiment"]
+        assert "synthetic" in fields["experiment"]
+
+    def test_unknown_preset_lists_known_presets(self):
+        fields = errors_by_field(
+            validate_job_payload({"experiment": "synthetic", "grid": "huge"})
+        )
+        assert "grid" in fields
+        assert "smoke" in fields["grid"]
+
+    def test_preset_with_count_suffix_accepted(self):
+        # fuzz presets support "profile:count" without resolving the grid.
+        assert validate_job_payload(
+            {"experiment": "fuzz", "grid": "smoke:3"}
+        ) == []
+
+    def test_preset_with_bad_count_rejected(self):
+        fields = errors_by_field(
+            validate_job_payload({"experiment": "fuzz", "grid": "smoke:zero"})
+        )
+        assert "grid" in fields
+
+    def test_invalid_tenant_rejected(self):
+        for bad in ("../escape", "", "a/b", ".hidden", "x" * 80):
+            fields = errors_by_field(
+                validate_job_payload(
+                    {"experiment": "monte-carlo", "grid": "smoke", "tenant": bad}
+                )
+            )
+            assert "tenant" in fields, bad
+
+    def test_grid_entries_must_be_objects(self):
+        fields = errors_by_field(
+            validate_job_payload({"experiment": "synthetic", "grid": [1, 2]})
+        )
+        assert "grid[0]" in fields
+
+    def test_embedded_scenario_linted_with_path_prefix(self):
+        payload = {
+            "experiment": "fuzz",
+            "grid": [{"profile": "smoke", "scenario": {"uavs": "not-a-list"}}],
+        }
+        fields = errors_by_field(validate_job_payload(payload))
+        assert any(f.startswith("grid[0].scenario") for f in fields), fields
+
+    def test_worker_and_seed_bounds(self):
+        fields = errors_by_field(
+            validate_job_payload(
+                {
+                    "experiment": "monte-carlo",
+                    "grid": "smoke",
+                    "workers": 0,
+                    "root_seed": "seven",
+                    "priority": "high",
+                }
+            )
+        )
+        assert set(fields) >= {"workers", "root_seed", "priority"}
+
+    def test_non_object_payload(self):
+        errors = validate_job_payload(["not", "an", "object"])
+        assert errors and "JSON object" in errors[0]["message"]
+        assert errors_by_field(validate_job_payload({})).keys() >= {"experiment"}
+
+
+class TestJob:
+    def test_round_trip(self):
+        job = Job.from_payload(
+            {"experiment": "synthetic", "grid": "smoke", "tenant": "alice"},
+            seq=4,
+        )
+        assert job.id.startswith("job-")
+        assert job.state == "submitted"
+        assert job.tenant == "alice"
+        clone = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+
+    def test_terminal_property(self):
+        job = Job.from_payload(
+            {"experiment": "synthetic", "grid": "smoke"}, seq=0
+        )
+        assert not job.terminal
+        for state in ("done", "failed", "cancelled"):
+            job.state = state
+            assert job.terminal
+
+
+class TestJobStore:
+    def make_job(self, store: JobStore, **overrides) -> Job:
+        payload = {"experiment": "synthetic", "grid": "smoke", **overrides}
+        job = Job.from_payload(payload, seq=store.next_seq())
+        store.save(job)
+        return job
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = self.make_job(store, tenant="alice")
+        assert store.load(job.id) == job
+        assert store.load("job-missing") is None
+
+    def test_list_orders_by_sequence(self, tmp_path):
+        store = JobStore(tmp_path)
+        jobs = [self.make_job(store) for _ in range(3)]
+        assert [j.id for j in store.list_jobs()] == [j.id for j in jobs]
+
+    def test_list_filters_by_tenant(self, tmp_path):
+        store = JobStore(tmp_path)
+        a = self.make_job(store, tenant="alice")
+        self.make_job(store, tenant="bob")
+        assert [j.id for j in store.list_jobs(tenant="alice")] == [a.id]
+
+    def test_cancel_marker(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = self.make_job(store)
+        assert not store.cancel_requested(job.id)
+        store.request_cancel(job.id)
+        assert store.cancel_requested(job.id)
+        store.clear_cancel(job.id)
+        assert not store.cancel_requested(job.id)
+
+    def test_recover_rewinds_non_terminal_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        running = self.make_job(store)
+        running.state = "running"
+        running.started_at = 5.0
+        store.save(running)
+        store.request_cancel(running.id)
+        finished = self.make_job(store)
+        finished.state = "done"
+        finished.fingerprint = "abc"
+        store.save(finished)
+
+        recovered = JobStore(tmp_path)
+        requeued = recovered.recover()
+        assert [j.id for j in requeued] == [running.id]
+        assert recovered.load(running.id).state == "queued"
+        assert recovered.load(running.id).started_at is None
+        assert not recovered.cancel_requested(running.id)
+        # Terminal jobs are untouched.
+        assert recovered.load(finished.id).state == "done"
+
+    def test_next_seq_continues_after_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        jobs = [self.make_job(store) for _ in range(2)]
+        fresh = JobStore(tmp_path)
+        assert fresh.next_seq() > max(j.seq for j in jobs)
+
+
+class TestTenantSharding:
+    def test_validate_tenant_id(self):
+        # Returns the *problem*: None means the id is acceptable.
+        assert validate_tenant_id("alice") is None
+        assert validate_tenant_id("team-7.staging_x") is None
+        for bad in (None, "", "../up", "a b", "-lead", ".lead", "x" * 65, 7):
+            assert validate_tenant_id(bad) is not None, bad
+
+    def test_tenant_cache_dir_shards(self, tmp_path):
+        alice = tenant_cache_dir(tmp_path, "alice")
+        bob = tenant_cache_dir(tmp_path, "bob")
+        assert alice != bob
+        assert alice.parent == tmp_path
+        assert alice.name == "alice"
+        assert tenant_cache_dir(tmp_path) == tmp_path / DEFAULT_TENANT
+
+    def test_tenant_cache_dir_rejects_traversal(self, tmp_path):
+        with pytest.raises(ValueError):
+            tenant_cache_dir(tmp_path, "../../etc")
+        with pytest.raises(ValueError):
+            tenant_cache_dir(tmp_path, "")

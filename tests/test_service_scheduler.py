@@ -1,0 +1,230 @@
+"""Scheduler lifecycle: priority, cancel/resume, shutdown, tenant isolation.
+
+Drives :class:`repro.service.scheduler.CampaignScheduler` directly (no
+HTTP) through the guarantees the campaign service is stated over:
+
+- a cancelled job stops at a sample boundary and *resumes* from its
+  checkpoints, finishing with the fingerprint of an uninterrupted run;
+- graceful shutdown rewinds running jobs to ``queued`` and a fresh
+  scheduler (the "restarted server") picks them up via ``recover()``;
+- tenants never share cache shards — identical grids re-run per tenant
+  but still agree on the fingerprint, because sharding is invisible to
+  the manifest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import repro.experiments.campaigns  # noqa: F401  (registers experiments)
+from repro.harness.campaign import run_campaign
+from repro.service.scheduler import CampaignScheduler
+
+#: Slow enough that cancellation lands mid-grid, fast enough for CI.
+SLEEPY_GRID = [{"n": 64, "loc": float(i % 3), "sleep_s": 0.15} for i in range(12)]
+QUICK_GRID = [{"n": 64, "loc": float(i)} for i in range(4)]
+
+
+def make_scheduler(tmp_path, **kwargs) -> CampaignScheduler:
+    kwargs.setdefault("max_jobs", 1)
+    return CampaignScheduler(tmp_path / "jobs", tmp_path / "cache", **kwargs)
+
+
+def drive(scheduler, until, timeout_s: float = 60.0) -> None:
+    """Tick the scheduler on a private event loop until ``until()``."""
+
+    async def loop():
+        deadline = asyncio.get_event_loop().time() + timeout_s
+        while not until():
+            assert asyncio.get_event_loop().time() < deadline, "drive() timed out"
+            scheduler.tick()
+            await asyncio.sleep(0.02)
+
+    asyncio.run(loop())
+
+
+def wait_terminal(scheduler, job_id: str, timeout_s: float = 60.0):
+    drive(
+        scheduler,
+        lambda: scheduler.store.load(job_id).terminal,
+        timeout_s=timeout_s,
+    )
+    return scheduler.store.load(job_id)
+
+
+def stream_indices(scheduler, job_id: str) -> list[int]:
+    path = scheduler.store.stream_path(job_id)
+    if not path.exists():
+        return []
+    return [
+        json.loads(line)["index"]
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+
+
+def direct_fingerprint(grid, root_seed: int = 0) -> str:
+    return run_campaign(
+        "synthetic", grid=grid, root_seed=root_seed, workers=1
+    ).fingerprint
+
+
+class TestSubmitAndRun:
+    def test_smoke_job_runs_to_done(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job, errors = scheduler.submit(
+            {"experiment": "synthetic", "grid": QUICK_GRID}
+        )
+        assert errors == []
+        job = wait_terminal(scheduler, job.id)
+        assert job.state == "done"
+        assert job.totals["samples"] == len(QUICK_GRID)
+        assert job.totals["failed"] == 0
+        assert job.fingerprint == direct_fingerprint(QUICK_GRID)
+        assert stream_indices(scheduler, job.id) == list(range(len(QUICK_GRID)))
+        assert scheduler.store.manifest_path(job.id).exists()
+
+    def test_invalid_payload_rejected_without_storing(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job, errors = scheduler.submit({"experiment": "nope"})
+        assert job is None
+        assert errors
+        assert scheduler.store.list_jobs() == []
+        counters = scheduler.metrics_snapshot()["counters"]
+        assert counters["service_jobs_rejected_total"] == {"": 1}
+
+    def test_priority_orders_execution(self, tmp_path):
+        scheduler = make_scheduler(tmp_path, max_jobs=1)
+        low, _ = scheduler.submit(
+            {"experiment": "synthetic", "grid": QUICK_GRID, "priority": 0}
+        )
+        high, _ = scheduler.submit(
+            {"experiment": "synthetic", "grid": QUICK_GRID, "priority": 9}
+        )
+        asyncio.run(scheduler.run_until_idle())
+        low, high = scheduler.store.load(low.id), scheduler.store.load(high.id)
+        assert low.state == high.state == "done"
+        # The high-priority job, though submitted second, started first.
+        assert high.started_at < low.started_at
+
+    def test_finished_metrics_counted(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job, _ = scheduler.submit({"experiment": "synthetic", "grid": QUICK_GRID})
+        wait_terminal(scheduler, job.id)
+        snapshot = scheduler.metrics_snapshot()
+        assert snapshot["counters"]["service_jobs_finished_total"][
+            "state=done"
+        ] == 1
+        histogram = snapshot["histograms"]["service_job_duration_seconds"]
+        assert histogram["experiment=synthetic"]["count"] == 1
+
+
+class TestCancelAndResume:
+    def test_cancel_mid_run_then_resume_matches_direct_run(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job, _ = scheduler.submit(
+            {"experiment": "synthetic", "grid": SLEEPY_GRID}
+        )
+        # Let a few samples checkpoint, then cancel cooperatively.
+        drive(scheduler, lambda: len(stream_indices(scheduler, job.id)) >= 3)
+        scheduler.cancel(job.id)
+        record = wait_terminal(scheduler, job.id)
+        assert record.state == "cancelled"
+        assert 0 < record.completed < len(SLEEPY_GRID)
+        partial = record.completed
+
+        resumed = scheduler.requeue(job.id)
+        assert resumed is not None and resumed.state == "queued"
+        record = wait_terminal(scheduler, job.id)
+        assert record.state == "done"
+        # Checkpointed samples came back as cache hits, not re-runs.
+        assert record.totals["cached"] >= partial
+        assert record.totals["samples"] == len(SLEEPY_GRID)
+        assert record.fingerprint == direct_fingerprint(SLEEPY_GRID)
+        # The resumed stream replays the full grid in order.
+        assert stream_indices(scheduler, job.id) == list(range(len(SLEEPY_GRID)))
+
+    def test_cancel_queued_job_is_immediate(self, tmp_path):
+        scheduler = make_scheduler(tmp_path, max_jobs=1)
+        blocker, _ = scheduler.submit(
+            {"experiment": "synthetic", "grid": SLEEPY_GRID}
+        )
+        queued, _ = scheduler.submit(
+            {"experiment": "synthetic", "grid": QUICK_GRID}
+        )
+        drive(
+            scheduler,
+            lambda: scheduler.store.load(blocker.id).state == "running",
+        )
+        cancelled = scheduler.cancel(queued.id)
+        assert cancelled.state == "cancelled"
+        scheduler.cancel(blocker.id)
+        wait_terminal(scheduler, blocker.id)
+        # The cancelled-from-queue job never ran.
+        assert scheduler.store.load(queued.id).started_at is None
+
+
+class TestRestartResume:
+    def test_shutdown_rewinds_and_fresh_scheduler_resumes(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job, _ = scheduler.submit(
+            {"experiment": "synthetic", "grid": SLEEPY_GRID}
+        )
+        drive(scheduler, lambda: len(stream_indices(scheduler, job.id)) >= 3)
+        asyncio.run(scheduler.shutdown())
+        on_disk = scheduler.store.load(job.id)
+        assert on_disk.state == "queued"  # rewound, not cancelled
+
+        # "Restarted server": a brand-new scheduler over the same roots.
+        fresh = make_scheduler(tmp_path)
+        requeued = fresh.recover()
+        assert [j.id for j in requeued] == [job.id]
+        record = wait_terminal(fresh, job.id)
+        assert record.state == "done"
+        assert record.totals["cached"] >= 3
+        assert record.fingerprint == direct_fingerprint(SLEEPY_GRID)
+
+    def test_killed_job_process_reports_job_crash(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job, _ = scheduler.submit(
+            {"experiment": "synthetic", "grid": SLEEPY_GRID}
+        )
+        drive(scheduler, lambda: job.id in scheduler._running)
+        # Kill the child outright: no outcome.json gets written.
+        scheduler._running[job.id].process.terminate()
+        record = wait_terminal(scheduler, job.id)
+        assert record.state == "failed"
+        assert record.error["type"] == "JobCrash"
+        # Still resumable: checkpoints survive an outcome-less death.
+        scheduler.requeue(job.id)
+        record = wait_terminal(scheduler, job.id)
+        assert record.state == "done"
+        assert record.fingerprint == direct_fingerprint(SLEEPY_GRID)
+
+
+class TestTenantIsolation:
+    def test_tenants_do_not_share_caches_but_agree_on_fingerprint(
+        self, tmp_path
+    ):
+        scheduler = make_scheduler(tmp_path)
+        payload = {"experiment": "synthetic", "grid": QUICK_GRID}
+        alice, _ = scheduler.submit({**payload, "tenant": "alice"})
+        alice = wait_terminal(scheduler, alice.id)
+        assert alice.state == "done" and alice.totals["cached"] == 0
+
+        # Bob submits the identical campaign: no cross-tenant cache hits.
+        bob, _ = scheduler.submit({**payload, "tenant": "bob"})
+        bob = wait_terminal(scheduler, bob.id)
+        assert bob.state == "done"
+        assert bob.totals["cached"] == 0
+        # ... yet determinism holds across shards.
+        assert bob.fingerprint == alice.fingerprint
+
+        # Alice resubmits: her own shard satisfies every point.
+        again, _ = scheduler.submit({**payload, "tenant": "alice"})
+        again = wait_terminal(scheduler, again.id)
+        assert again.totals["cached"] == len(QUICK_GRID)
+        assert again.fingerprint == alice.fingerprint
+
+        shards = {p.name for p in (tmp_path / "cache").iterdir()}
+        assert shards == {"alice", "bob"}
