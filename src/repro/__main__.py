@@ -17,6 +17,9 @@ Usage::
     python -m repro campaign --list                    # sweep catalogue + presets
     python -m repro campaign monte-carlo --workers 4   # sharded sweep
     python -m repro campaign monte-carlo --resume      # finish a broken run
+    python -m repro campaign swarm-sizing --preset smoke
+                                  # leader-follower tasking over the degraded
+                                  # bus: latency/coverage vs K, rho, P
 
     python -m repro serve --port 8080 --workers 2      # campaign service:
                                   # POST /jobs, GET /jobs/<id>, NDJSON
@@ -449,7 +452,8 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0, help="campaign root seed (default 0)"
     )
     campaign.add_argument(
-        "--grid", default="default", help="grid preset: smoke/default/full"
+        "--grid", "--preset", dest="grid", default="default",
+        help="grid preset: smoke/default/full (--preset is an alias)",
     )
     campaign.add_argument(
         "--cache-dir", default=".repro-cache", help="result cache directory"

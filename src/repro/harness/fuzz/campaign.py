@@ -3,7 +3,9 @@
 Each grid point regenerates its scenario *inside* the sample function
 from the harness-spawned per-sample seed, so a scenario is reproducible
 from its manifest record alone: ``ScenarioGenerator(record.seed)
-.generate(record.config["profile"])`` is the exact input that ran. The
+.generate(record.config["profile"])`` is the exact input that ran (for
+``kind="swarm"`` grid points, ``.generate_swarm(...)`` against the
+swarm-tasking oracle suite instead). The
 root seed varies the whole corpus; the grid config carries only the
 profile name (plus an optional scripted-chaos block for self-tests), so
 cache keys and fingerprints stay small and stable.
@@ -62,13 +64,39 @@ def sample_scenario(config: dict, seed: int) -> dict:
     return scenario
 
 
+def swarm_scenario(config: dict, seed: int) -> dict:
+    """The swarm config a ``kind="swarm"`` grid point runs.
+
+    Same contract as :func:`sample_scenario`: an explicit
+    ``config["scenario"]`` (replaying a saved reproducer) wins over
+    generation from the record seed.
+    """
+    if "scenario" in config:
+        return json.loads(json.dumps(config["scenario"]))
+    return ScenarioGenerator(seed).generate_swarm(config["profile"])
+
+
 def fuzz_sample(config: dict, seed: int, timer: PhaseTimer) -> dict:
     """Generate one scenario, run the oracle suite, return the verdict."""
     # Import here as well as module level: supervised pool workers
     # re-import this module by name and need the runner regardless of
     # what the parent had loaded.
-    from repro.harness.oracles import run_scenario_oracles
+    from repro.harness.oracles import run_scenario_oracles, run_swarm_oracles
 
+    if config.get("kind") == "swarm":
+        with timer.phase("generate"):
+            scenario = swarm_scenario(config, seed)
+        with timer.phase("oracles"):
+            report = run_swarm_oracles(scenario)
+        return {
+            "profile": config.get("profile"),
+            "kind": "swarm",
+            "k_leaders": scenario["k_leaders"],
+            "rho": scenario["rho"],
+            "n_pois": scenario["n_pois"],
+            "n_faults": len(scenario.get("faults", [])),
+            "oracles": report.to_dict(),
+        }
     with timer.phase("generate"):
         scenario = sample_scenario(config, seed)
     with timer.phase("oracles"):
@@ -84,7 +112,13 @@ def fuzz_sample(config: dict, seed: int, timer: PhaseTimer) -> dict:
 
 
 def fuzz_grid(preset: str) -> list[dict]:
-    """Resolve ``"<profile>"`` / ``"<profile>:<count>"`` into grid configs."""
+    """Resolve ``"<profile>"`` / ``"<profile>:<count>"`` into grid configs.
+
+    Profiles with a non-zero ``swarm_share`` dedicate that trailing
+    fraction of the grid to swarm-tasking scenarios (``kind="swarm"``);
+    the SAR prefix keeps its case indices, so adding swarm coverage
+    never re-seeds the existing corpus.
+    """
     name, _, count_text = preset.partition(":")
     profile = get_profile(name)  # raises KeyError for unknown profiles
     if count_text:
@@ -93,7 +127,11 @@ def fuzz_grid(preset: str) -> list[dict]:
             raise ValueError(f"fuzz grid {preset!r}: count must be >= 1")
     else:
         count = DEFAULT_COUNTS[profile.name]
-    return [{"profile": profile.name, "case": index} for index in range(count)]
+    configs = [{"profile": profile.name, "case": index} for index in range(count)]
+    n_swarm = int(count * profile.swarm_share)
+    for config in configs[count - n_swarm :]:
+        config["kind"] = "swarm"
+    return configs
 
 
 def summarize_fuzz(result: CampaignResult) -> str:
@@ -206,6 +244,16 @@ def run_fuzz(
     if not shrink:
         return outcome
     for record in outcome.violations[:max_shrink]:
+        if record.config.get("kind") == "swarm":
+            # No shrinker speaks the swarm-config shape (yet); the raw
+            # generated config is already small and replays the failure
+            # via run_swarm_oracles, so save it as-is.
+            scenario = swarm_scenario(record.config, record.seed)
+            path = Path(artifacts_dir) / f"repro_{record.seed}.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(scenario_to_json(scenario), encoding="utf-8")
+            outcome.repro_paths[record.seed] = path
+            continue
         scenario = sample_scenario(record.config, record.seed)
         target = record.oracles["violations"][0]["oracle"]
         shrunk = shrink_scenario(scenario, target_oracle=target)

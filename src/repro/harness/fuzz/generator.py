@@ -63,6 +63,24 @@ class FuzzProfile:
     p_mission: float
     #: Probability the scenario carries an explicit weather section.
     p_environment: float
+    #: Fraction of this tier's fuzz grid drawn as leader–follower swarm
+    #: tasking scenarios (:meth:`ScenarioGenerator.generate_swarm`);
+    #: ``0.0`` keeps the tier pure SAR-scenario fuzzing.
+    swarm_share: float = 0.0
+    #: Inclusive leader-count (K) bounds for drawn swarm scenarios.
+    swarm_leaders: tuple[int, int] = (1, 4)
+    #: Inclusive followers-per-leader (ρ) bounds.
+    swarm_rho: tuple[int, int] = (1, 8)
+    #: Inclusive PoI-workload bounds.
+    swarm_pois: tuple[int, int] = (10, 120)
+    #: Square world-side bounds (metres) for swarm scenarios.
+    swarm_area_m: tuple[float, float] = (300.0, 900.0)
+    #: Base link-loss bounds (geometry pushes loss to 1.0 out of range).
+    swarm_loss: tuple[float, float] = (0.0, 0.5)
+    #: Horizon bounds (seconds) for swarm scenarios.
+    swarm_horizon_s: tuple[float, float] = (60.0, 180.0)
+    #: Maximum scripted swarm faults (follower loss / leader demotion).
+    swarm_max_faults: int = 3
 
 
 PROFILES: dict[str, FuzzProfile] = {
@@ -106,6 +124,15 @@ PROFILES: dict[str, FuzzProfile] = {
             max_attacks=3,
             p_mission=0.9,
             p_environment=0.8,
+            # A quarter of the hostile grid exercises the swarm tasking
+            # protocol instead of the SAR engine (K/ρ sweeps under loss,
+            # scripted follower deaths and leader demotions).
+            swarm_share=0.25,
+            swarm_leaders=(1, 4),
+            swarm_rho=(1, 8),
+            swarm_pois=(10, 120),
+            swarm_loss=(0.0, 0.5),
+            swarm_max_faults=3,
         ),
     )
 }
@@ -260,6 +287,57 @@ class ScenarioGenerator:
             spec["loss"] = self._uniform(0.1, 0.95)
             spec["duration"] = self._uniform(2.0, 30.0, ndigits=1)
         return spec
+
+    # ------------------------------------------------- swarm generation
+    def generate_swarm(self, profile: str | FuzzProfile = "hostile") -> dict:
+        """One swarm-tasking scenario config drawn from ``profile``.
+
+        The emitted dict feeds :func:`repro.swarm.sim.run_swarm` directly
+        (and :func:`repro.harness.oracles.run_swarm_oracles` in the fuzz
+        loop). A separate draw sequence from :meth:`generate` — swarm and
+        SAR scenarios never share a generator instance in the campaign —
+        so extending one format cannot silently reshuffle the other.
+        """
+        profile = get_profile(profile)
+        k = self._int(*profile.swarm_leaders)
+        rho = self._int(*profile.swarm_rho)
+        dt = 0.5
+        horizon_steps = max(
+            1,
+            int(round(self._uniform(*profile.swarm_horizon_s, ndigits=1) / dt)),
+        )
+        horizon = round(horizon_steps * dt, 6)
+        area = self._uniform(*profile.swarm_area_m, ndigits=0)
+        config: dict = {
+            "kind": "swarm",
+            "description": f"swarm fuzz profile={profile.name} seed={self.seed}",
+            "seed": int(self._rng.integers(0, 2**31)),
+            "dt": dt,
+            "horizon_s": horizon,
+            "k_leaders": k,
+            "rho": rho,
+            "n_pois": self._int(*profile.swarm_pois),
+            "area_m": area,
+            # Down to half the world side: out-of-range stretches (loss
+            # forced to 1.0) are a feature of the tier, not a bug.
+            "comm_radius_m": self._uniform(0.5 * area, 1.5 * area, ndigits=0),
+            "link_loss": self._uniform(*profile.swarm_loss),
+            "task_timeout_s": self._uniform(20.0, 90.0, ndigits=1),
+            "follower_dead_after_s": self._uniform(20.0, 60.0, ndigits=1),
+        }
+        faults = []
+        for _ in range(self._int(0, profile.swarm_max_faults)):
+            at = self._uniform(1.0, max(1.5, 0.8 * horizon), ndigits=1)
+            # Gate first, members after — same stream discipline as the
+            # SAR fault draw.
+            if self._chance(0.5) and rho > 0:
+                uav = f"f{self._int(0, k - 1):02d}_{self._int(0, rho - 1):02d}"
+                faults.append({"type": "follower_loss", "uav": uav, "at": at})
+            else:
+                uav = f"lead{self._int(0, k - 1):02d}"
+                faults.append({"type": "leader_demotion", "uav": uav, "at": at})
+        config["faults"] = faults
+        return config
 
     def generate_json(self, profile: str | FuzzProfile = "default") -> str:
         """The canonical byte-stable serialisation of one drawn scenario."""

@@ -36,6 +36,16 @@ scenario config under the full oracle suite:
     assurance-plane analogue of ``engine_lockstep``).
 ``no_unhandled_exception``
     The run completes without the simulator raising.
+``swarm_tasking``
+    The leader–follower task ledger (:mod:`repro.swarm`) is coherent:
+    no task is ever owned by two followers at once (assignment intervals
+    per task and per follower never overlap), every serviced task has
+    exactly one confirmed assignment with non-negative,
+    detection-ordered timestamps, every detected PoI ends serviced or
+    explicitly orphaned, and the leaders' confirmation counters agree
+    with the ledger. Checked by :func:`run_swarm_oracles`, the swarm
+    analogue of :func:`run_scenario_oracles` used by the fuzz campaign's
+    swarm scenarios.
 
 The runner also honours a scenario-level ``"chaos"`` block — a scripted
 simulator *bug* (teleport, SoC jump, or raised exception) used to prove
@@ -604,5 +614,166 @@ def run_scenario_oracles(
         violations=violations,
         suppressed=sum(oracle.suppressed for oracle in all_oracles),
         steps=completed,
+        horizon_s=horizon,
+    )
+
+
+# ---------------------------------------------------------- swarm tasking
+#: Assignment outcomes the swarm protocol is allowed to book.
+SWARM_OUTCOMES = frozenset(
+    {"confirmed", "timeout", "follower_lost", "rehome", "horizon"}
+)
+
+
+def intervals_overlap(
+    a: tuple[float, float | None], b: tuple[float, float | None]
+) -> bool:
+    """Whether two half-open ownership intervals ``[start, end)`` overlap.
+
+    ``None`` means still open. Touching at the boundary is legal: a task
+    released and re-assigned within one protocol tick closes the old
+    interval at exactly the new one's start.
+    """
+    a_start, a_end = a
+    b_start, b_end = b
+    if b_start < a_start:
+        a_start, a_end, b_start, b_end = b_start, b_end, a_start, a_end
+    return a_end is None or b_start < a_end
+
+
+class SwarmTaskingOracle(Oracle):
+    """Task-ledger coherence for the leader–follower protocol."""
+
+    name = "swarm_tasking"
+
+    def check_ledger(self, ledger, counters: dict | None = None) -> None:
+        """Check a finished (finalized) :class:`~repro.swarm.protocol.SwarmLedger`."""
+        from repro.swarm.protocol import TaskState
+
+        per_follower: dict[str, list[tuple[str, float, float | None]]] = {}
+        confirms_booked = 0
+        for poi_id in sorted(ledger.tasks):
+            task = ledger.tasks[poi_id]
+            spans = [(a.t_assign, a.t_closed) for a in task.assignments]
+            for a in task.assignments:
+                if a.outcome is not None and a.outcome not in SWARM_OUTCOMES:
+                    self.record(
+                        a.t_assign, a.follower,
+                        f"{poi_id}: unknown assignment outcome {a.outcome!r}",
+                    )
+                per_follower.setdefault(a.follower, []).append(
+                    (poi_id, a.t_assign, a.t_closed)
+                )
+            for prev, cur in zip(spans, spans[1:]):
+                if intervals_overlap(prev, cur):
+                    self.record(
+                        cur[0], task.owner,
+                        f"{poi_id}: overlapping assignments {prev} / {cur} "
+                        "— owned by two followers at once",
+                    )
+            if any(
+                a.t_assign < task.t_detected for a in task.assignments
+            ):
+                self.record(
+                    task.t_detected, None,
+                    f"{poi_id}: assigned before it was detected",
+                )
+            confirmed = [a for a in task.assignments if a.outcome == "confirmed"]
+            confirms_booked += len(confirmed)
+            if task.state == TaskState.SERVICED:
+                if len(confirmed) != 1:
+                    self.record(
+                        task.t_serviced, None,
+                        f"{poi_id}: serviced with {len(confirmed)} confirmed "
+                        "assignments (want exactly 1)",
+                    )
+                if task.t_serviced is None:
+                    self.record(
+                        None, None, f"{poi_id}: serviced without t_serviced"
+                    )
+                elif task.t_serviced < task.t_detected:
+                    self.record(
+                        task.t_serviced, None,
+                        f"{poi_id}: negative service latency "
+                        f"({task.t_serviced} < {task.t_detected})",
+                    )
+                elif confirmed and task.t_serviced < confirmed[0].t_assign:
+                    self.record(
+                        task.t_serviced, confirmed[0].follower,
+                        f"{poi_id}: serviced at {task.t_serviced} before its "
+                        f"confirmed assignment at {confirmed[0].t_assign}",
+                    )
+            elif task.state == TaskState.ORPHANED:
+                if confirmed:
+                    self.record(
+                        None, None,
+                        f"{poi_id}: orphaned despite a confirmed assignment",
+                    )
+                if not task.orphan_reason:
+                    self.record(
+                        None, None, f"{poi_id}: orphaned without a reason"
+                    )
+            else:
+                self.record(
+                    None, None,
+                    f"{poi_id}: detected PoI left {task.state!r} — neither "
+                    "serviced nor explicitly orphaned",
+                )
+        for fid in sorted(per_follower):
+            spans = sorted(per_follower[fid], key=lambda s: (s[1], s[0]))
+            for prev, cur in zip(spans, spans[1:]):
+                if intervals_overlap(prev[1:], cur[1:]):
+                    self.record(
+                        cur[1], fid,
+                        f"follower owns {prev[0]} and {cur[0]} at once "
+                        f"({prev[1:]} / {cur[1:]})",
+                    )
+        if counters is not None and counters.get("confirms") != confirms_booked:
+            self.record(
+                None, None,
+                f"leaders counted {counters.get('confirms')} confirms but the "
+                f"ledger books {confirms_booked}",
+            )
+
+
+def run_swarm_oracles(
+    config: dict,
+    seed: int = 0,
+    max_violations: int = 10,
+) -> OracleReport:
+    """Run a swarm scenario config under the tasking oracle.
+
+    The swarm analogue of :func:`run_scenario_oracles`: any exception
+    from the simulation lands in ``no_unhandled_exception`` instead of
+    crashing the harness, and the report is fully deterministic for a
+    given (config, seed).
+    """
+    from repro.swarm.sim import run_swarm
+
+    tasking = SwarmTaskingOracle(max_violations=max_violations)
+    exception = Oracle(max_violations=max_violations)
+    exception.name = "no_unhandled_exception"
+
+    steps = 0
+    horizon = float(config.get("horizon_s", DEFAULT_HORIZON_S))
+    try:
+        run = run_swarm(dict(config), seed=seed)
+        horizon = run.metrics["horizon_s"]
+        steps = int(round(horizon / float(run.config["dt"])))
+        tasking.check_ledger(run.ledger, counters=run.metrics["leader"])
+    except Exception as exc:
+        frame = traceback.extract_tb(exc.__traceback__)[-1]
+        exception.record(
+            None, None,
+            f"{type(exc).__name__}: {exc} "
+            f"(at {Path(frame.filename).name}:{frame.lineno})",
+        )
+
+    violations = [*tasking.violations, *exception.violations]
+    return OracleReport(
+        checked=[tasking.name, exception.name],
+        violations=violations,
+        suppressed=tasking.suppressed + exception.suppressed,
+        steps=steps,
         horizon_s=horizon,
     )

@@ -1,0 +1,137 @@
+"""``swarm-sizing`` campaign: K × ρ × workload over the tasking protocol.
+
+PaperID23's sizing question, asked of this repo's own stack: how do
+service latency and coverage trade off as the squad count K, the
+followers-per-leader ratio ρ, and the PoI workload P vary? Every grid
+point is one seeded :func:`repro.swarm.sim.run_swarm` scenario; the
+manifest records per-PoI service latency statistics, coverage fraction,
+tasking-message overhead, and the ledger fingerprint (the determinism
+oracle — two clean runs of the same grid must produce identical
+manifest fingerprints at any worker count).
+
+Run it like every other sweep::
+
+    python -m repro campaign swarm-sizing --preset smoke
+    python -m repro campaign swarm-sizing --preset default --workers 4
+
+The default grid pins one scenario seed across all points so the (K, ρ,
+P) axes are the only thing that varies — which is what makes the
+"latency degrades monotonically as ρ shrinks" read-off meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.harness.campaign import (
+    CampaignExperiment,
+    CampaignResult,
+    register_experiment,
+)
+from repro.harness.timing import PhaseTimer
+from repro.swarm.sim import run_swarm
+
+#: Scenario seed pinned across grid points (axes vary, the world doesn't).
+PINNED_SEED = 123
+
+#: Workload sizes from PaperID23's experiment grid.
+WORKLOADS = (250, 1000, 4000)
+
+
+def swarm_sizing_sample(config: dict, seed: int, timer: PhaseTimer) -> dict:
+    """One campaign sample: a full swarm scenario at one (K, ρ, P) point.
+
+    ``config`` may pin an explicit ``seed``; otherwise the harness
+    stream seed is used (the fuzz/property suites rely on that path).
+    """
+    run_seed = int(config.get("seed", seed))
+    with timer.phase("simulate"):
+        run = run_swarm(dict(config), seed=run_seed)
+    # Wall-clock cost lives in the manifest's provenance fields
+    # (wall_time_s, timings) — never in the result, which is hashed into
+    # the deterministic campaign fingerprint.
+    record = run.summary()
+    record["seed"] = run_seed
+    return record
+
+
+def swarm_sizing_grid(preset: str) -> list[dict]:
+    """Grid presets; smoke is CI-sized, default reproduces the trade-off."""
+    if preset == "smoke":
+        base = {
+            "seed": PINNED_SEED,
+            "n_pois": 50,
+            "area_m": 400.0,
+            "horizon_s": 120.0,
+        }
+        return [
+            dict(base, k_leaders=2, rho=1),
+            dict(base, k_leaders=2, rho=3),
+            # One faulted point so the recovery paths (follower death,
+            # ConSert-driven demotion + re-home) run in CI every time.
+            dict(
+                base,
+                k_leaders=2,
+                rho=3,
+                horizon_s=150.0,
+                faults=[
+                    {"type": "follower_loss", "uav": "f00_01", "at": 30.0},
+                    {"type": "leader_demotion", "uav": "lead01", "at": 60.0},
+                ],
+            ),
+        ]
+    if preset == "default":
+        return [
+            {
+                "seed": PINNED_SEED,
+                "k_leaders": k,
+                "rho": rho,
+                "n_pois": n_pois,
+                "horizon_s": 600.0,
+            }
+            for k in (2, 4)
+            for rho in (1, 2, 4, 8)
+            for n_pois in WORKLOADS[:2]
+        ]
+    if preset == "full":
+        return [
+            {
+                "seed": PINNED_SEED,
+                "k_leaders": k,
+                "rho": rho,
+                "n_pois": n_pois,
+                "horizon_s": 600.0,
+            }
+            for k in (2, 4, 8)
+            for rho in (1, 2, 4, 8, 16)
+            for n_pois in WORKLOADS
+        ]
+    raise ValueError(f"unknown swarm-sizing grid preset {preset!r}")
+
+
+def summarize_swarm_sizing(campaign: CampaignResult) -> str:
+    """The latency/coverage trade-off table for the campaign CLI."""
+    lines = [
+        "K     rho   pois    detect   cover    mean lat    p95 lat   messages",
+        "----  ----  ------  -------  -------  ----------  --------  --------",
+    ]
+    for r in campaign.results:
+        mean = f"{r['latency_mean_s']:>8.1f} s" if r["latency_mean_s"] is not None else "       — "
+        p95 = f"{r['latency_p95_s']:>6.1f} s" if r["latency_p95_s"] is not None else "     — "
+        lines.append(
+            f"{r['k_leaders']:<5} {r['rho']:<5} {r['n_pois']:<7} "
+            f"{100 * r['detection_fraction']:>6.0f}%  "
+            f"{100 * r['coverage_fraction']:>6.0f}%  "
+            f"{mean}  {p95}  {r['messages_total']:>8}"
+        )
+    return "\n".join(lines)
+
+
+SWARM_SIZING_CAMPAIGN = register_experiment(
+    CampaignExperiment(
+        name="swarm-sizing",
+        sample_fn=swarm_sizing_sample,
+        grids=swarm_sizing_grid,
+        describe="Leader-follower swarm tasking: latency/coverage vs K, rho, P",
+        summarize=summarize_swarm_sizing,
+        presets=("smoke", "default", "full"),
+    )
+)

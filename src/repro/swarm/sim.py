@@ -1,0 +1,546 @@
+"""Closed-loop leader–follower swarm simulation over the degraded bus.
+
+One :class:`SwarmSim` wires the pure protocol
+(:mod:`repro.swarm.protocol`) into physics and assurance:
+
+* **Motion** — :class:`~repro.uav.swarm_kinematics.SwarmKinematics`
+  moves all K + K·ρ UAVs in one fused NumPy step per tick. Leaders fly
+  looping boustrophedon sweeps of their vertical sector
+  (:func:`repro.sar.patterns.sector_sweep`); followers chase their
+  leader while loitering and fly out to task positions when assigned.
+* **Comms** — every leader×follower pair gets its own
+  :class:`~repro.middleware.degraded.LinkModel` on a
+  :class:`~repro.middleware.degraded.DegradedBus`. Each tick the pair's
+  loss probability is set from geometry: in comm radius ⇒ the scenario's
+  base loss, out of radius ⇒ 1.0. Everything the protocol suffers —
+  retransmits, heartbeat silence, lost hellos — falls out of position.
+* **Assurance** — per-squad :class:`~repro.core.squad.SquadConSert`
+  evidence is refreshed every ``consert_period_s`` and composed by the
+  :class:`~repro.core.squad.SwarmMissionDecider`; a squad evaluating to
+  ``squad_lost`` triggers the mission-layer recovery the protocol
+  exposes but never decides: demote the leader, transfer its open tasks
+  round-robin to surviving leaders, re-home its followers.
+
+Determinism: one root :class:`numpy.random.SeedSequence` spawns the bus
+rng, the PoI layout rng, and one rng per link (created in sorted pair
+order); every Python-side iteration is sorted; sim time is derived as
+``step * dt``. Same config + seed ⇒ byte-identical ledger, so
+:meth:`SwarmRun.ledger_fingerprint` doubles as the determinism oracle
+used by the property suite and the golden trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.core.squad import (
+    SQUAD_LOST,
+    SquadConSert,
+    SwarmMissionDecider,
+)
+from repro.middleware.degraded import DegradedBus, LinkModel
+from repro.middleware.rosbus import Message
+from repro.sar.patterns import sector_sweep
+from repro.swarm.protocol import (
+    FollowerProtocol,
+    FollowerState,
+    LeaderProtocol,
+    SwarmLedger,
+    SwarmProtocolConfig,
+    TaskState,
+)
+from repro.uav.swarm_kinematics import SwarmKinematics
+
+DEFAULTS: dict[str, Any] = {
+    "k_leaders": 2,
+    "rho": 3,
+    "n_pois": 50,
+    "area_m": 600.0,
+    "comm_radius_m": 450.0,
+    "leader_speed_mps": 12.0,
+    "follower_speed_mps": 15.0,
+    "detect_radius_m": 40.0,
+    "patrol_altitude_m": 60.0,
+    "dt": 0.5,
+    "horizon_s": 600.0,
+    "link_loss": 0.05,
+    "link_latency_s": 0.02,
+    "link_jitter_s": 0.02,
+    "task_timeout_s": 90.0,
+    "visit_dwell_s": 2.0,
+    "reassign_backoff_s": 5.0,
+    "reassign_backoff_max_s": 40.0,
+    "follower_dead_after_s": 60.0,
+    "heartbeat_s": 5.0,
+    "consert_period_s": 5.0,
+    "faults": (),
+}
+"""Scenario knobs; any subset may be overridden by the config dict."""
+
+
+@dataclass
+class SwarmRun:
+    """Everything a finished swarm scenario is measured by."""
+
+    config: dict[str, Any]
+    seed: int
+    ledger: SwarmLedger
+    latency_trace: list[dict[str, Any]]
+    decisions: list[dict[str, Any]]
+    metrics: dict[str, Any]
+
+    @property
+    def ledger_fingerprint(self) -> str:
+        return self.ledger.fingerprint()
+
+    def summary(self) -> dict[str, Any]:
+        """Flat manifest-friendly record (no full ledger — it can be 4000
+        tasks deep; the fingerprint stands in for it)."""
+        return dict(self.metrics, ledger_fingerprint=self.ledger_fingerprint)
+
+
+def _leader_name(k: int) -> str:
+    return f"lead{k:02d}"
+
+
+def _follower_name(k: int, j: int) -> str:
+    return f"f{k:02d}_{j:02d}"
+
+
+def _poi_name(i: int) -> str:
+    return f"poi{i:05d}"
+
+
+@dataclass
+class _MessageCensus:
+    """Transport-level message counts by protocol plane (via interceptor)."""
+
+    counts: dict[str, int] = field(
+        default_factory=lambda: {"data": 0, "ack": 0, "heartbeat": 0, "control": 0}
+    )
+
+    def __call__(self, message: Message) -> Message:
+        if message.topic.startswith("/swarm/"):
+            parts = message.topic.split("/")
+            if parts[2] == "hb":
+                self.counts["heartbeat"] += 1
+            elif parts[2] == "ctl":
+                self.counts["control"] += 1
+            elif parts[-1] == "ack":
+                self.counts["ack"] += 1
+            else:
+                self.counts["data"] += 1
+        return message
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class SwarmSim:
+    """One seeded swarm scenario, steppable tick by tick."""
+
+    def __init__(self, config: dict[str, Any], seed: int = 0) -> None:
+        cfg = dict(DEFAULTS)
+        cfg.update(config)
+        self.config = cfg
+        self.seed = int(cfg.get("seed", seed))
+        self.k = int(cfg["k_leaders"])
+        self.rho = int(cfg["rho"])
+        self.n_pois = int(cfg["n_pois"])
+        if self.k < 1 or self.rho < 0 or self.n_pois < 0:
+            raise ValueError("k_leaders >= 1, rho >= 0, n_pois >= 0 required")
+        self.area = float(cfg["area_m"])
+        self.comm_radius = float(cfg["comm_radius_m"])
+        self.detect_radius = float(cfg["detect_radius_m"])
+        self.dt = float(cfg["dt"])
+        self.horizon_s = float(cfg["horizon_s"])
+        self.consert_period = float(cfg["consert_period_s"])
+        self.base_loss = float(cfg["link_loss"])
+        self.now = 0.0
+        self._step_index = 0
+
+        root = np.random.SeedSequence(self.seed)
+        bus_ss, poi_ss, link_ss = root.spawn(3)
+        self.bus = DegradedBus(rng=np.random.default_rng(bus_ss))
+        self.census = _MessageCensus()
+        self.bus.add_interceptor(self.census)
+
+        self.protocol_config = SwarmProtocolConfig(
+            task_timeout_s=float(cfg["task_timeout_s"]),
+            reassign_backoff_s=float(cfg["reassign_backoff_s"]),
+            reassign_backoff_max_s=float(cfg["reassign_backoff_max_s"]),
+            follower_dead_after_s=float(cfg["follower_dead_after_s"]),
+            heartbeat_s=float(cfg["heartbeat_s"]),
+            visit_dwell_s=float(cfg["visit_dwell_s"]),
+        )
+
+        self.leader_names = [_leader_name(k) for k in range(self.k)]
+        self.follower_names = [
+            _follower_name(k, j) for k in range(self.k) for j in range(self.rho)
+        ]
+        self._index = {
+            name: i
+            for i, name in enumerate(self.leader_names + self.follower_names)
+        }
+
+        # PoI field.
+        poi_rng = np.random.default_rng(poi_ss)
+        self.pois = poi_rng.uniform(0.0, self.area, size=(self.n_pois, 2))
+        self.poi_detected = np.zeros(self.n_pois, dtype=bool)
+
+        # Patrol sweeps: leader k owns vertical sector k; track spacing at
+        # twice the detect radius tiles the strip with detection swath.
+        self._waypoints: dict[str, list[tuple[float, float]]] = {}
+        self._wp_index: dict[str, int] = {}
+        spacing = 2.0 * self.detect_radius
+        for k, name in enumerate(self.leader_names):
+            wps = sector_sweep(
+                self.area, self.k, k, float(cfg["patrol_altitude_m"]), spacing
+            )
+            self._waypoints[name] = [(e, n) for e, n, _ in wps]
+            self._wp_index[name] = 0
+
+        # Kinematics: leaders first, followers after, one SoA block.
+        n_total = self.k + self.k * self.rho
+        positions = np.zeros((n_total, 2))
+        speeds = np.zeros(n_total)
+        for name in self.leader_names:
+            positions[self._index[name]] = self._waypoints[name][0]
+            speeds[self._index[name]] = float(cfg["leader_speed_mps"])
+        for k in range(self.k):
+            lead_pos = positions[self._index[_leader_name(k)]]
+            for j in range(self.rho):
+                idx = self._index[_follower_name(k, j)]
+                positions[idx] = lead_pos
+                speeds[idx] = float(cfg["follower_speed_mps"])
+        self.kin = SwarmKinematics(positions, speeds)
+
+        # One LinkModel per leader×follower pair, rngs spawned in sorted
+        # pair order so link noise is independent of construction details.
+        pairs = sorted(
+            (ln, fn) for ln in self.leader_names for fn in self.follower_names
+        )
+        seeds = link_ss.spawn(len(pairs))
+        self._links: list[tuple[int, int, LinkModel]] = []
+        for (ln, fn), child in zip(pairs, seeds):
+            link = LinkModel(
+                rng=np.random.default_rng(child),
+                loss_probability=self.base_loss,
+                latency_s=float(cfg["link_latency_s"]),
+                jitter_s=float(cfg["link_jitter_s"]),
+            )
+            self.bus.set_link(ln, fn, link)
+            self._links.append((self._index[ln], self._index[fn], link))
+
+        # Protocol endpoints + assurance plane.
+        self.ledger = SwarmLedger()
+        self.leaders: dict[str, LeaderProtocol] = {}
+        self.followers: dict[str, FollowerProtocol] = {}
+        self.squads: dict[str, SquadConSert] = {}
+        self.planned: dict[str, int] = {}
+        self.decider = SwarmMissionDecider()
+        for k, name in enumerate(self.leader_names):
+            members = [_follower_name(k, j) for j in range(self.rho)]
+            self.leaders[name] = LeaderProtocol(
+                self.bus, name, members, self.ledger,
+                config=self.protocol_config, now=0.0,
+            )
+            squad = SquadConSert(name)
+            self.squads[name] = squad
+            self.planned[name] = self.rho
+            self.decider.add_squad(squad)
+            for fid in members:
+                self.followers[fid] = FollowerProtocol(
+                    self.bus, fid, name, config=self.protocol_config, now=0.0
+                )
+
+        self.dead: set[str] = set()
+        self.forced_down: set[str] = set()
+        self.decisions: list[dict[str, Any]] = []
+        self.verdicts: dict[str, int] = {}
+        self._faults = sorted(
+            (dict(f) for f in cfg["faults"]),
+            key=lambda f: (float(f["at"]), str(f["uav"])),
+        )
+        self._next_consert = self.consert_period
+
+    # ------------------------------------------------------------- faults
+    def _apply_faults(self, now: float) -> None:
+        while self._faults and float(self._faults[0]["at"]) <= now:
+            fault = self._faults.pop(0)
+            uav = str(fault["uav"])
+            kind = str(fault["type"])
+            if kind == "follower_loss" and uav in self.followers:
+                self.dead.add(uav)
+                self.bus.set_node_down(uav)
+                self.kin.clear_target(self._index[uav])
+                if obs.OBS.enabled:
+                    obs.event(
+                        "error", "swarm.sim", "follower_loss",
+                        sim_time=now, uav=uav,
+                    )
+            elif kind == "leader_demotion" and uav in self.leaders:
+                # Not an instant kill: the squad certificate loses its
+                # leader_ok evidence and the *decider* orders the recovery
+                # at the next ConSert cycle — assurance-driven, as in the
+                # paper's demotion flow.
+                self.forced_down.add(uav)
+                self.kin.clear_target(self._index[uav])
+                if obs.OBS.enabled:
+                    obs.event(
+                        "error", "swarm.sim", "leader_demotion",
+                        sim_time=now, uav=uav,
+                    )
+
+    # ------------------------------------------------------------- motion
+    def _leader_active(self, name: str) -> bool:
+        return (
+            name not in self.forced_down
+            and not self.leaders[name].demoted
+        )
+
+    def _update_targets(self, now: float) -> None:
+        for name in self.leader_names:
+            idx = self._index[name]
+            if not self._leader_active(name):
+                self.kin.clear_target(idx)
+                continue
+            wps = self._waypoints[name]
+            if self.kin.distance_to_target(idx) == 0.0:
+                self._wp_index[name] = (self._wp_index[name] + 1) % len(wps)
+            self.kin.set_target(idx, wps[self._wp_index[name]])
+        for name in self.follower_names:
+            if name in self.dead:
+                continue
+            follower = self.followers[name]
+            idx = self._index[name]
+            if follower.state == FollowerState.ENROUTE:
+                assert follower.current_pos is not None
+                self.kin.set_target(idx, follower.current_pos)
+                if self.kin.distance_to_target(idx) == 0.0:
+                    follower.arrived(now)
+                    self.kin.clear_target(idx)
+            elif follower.state == FollowerState.VISITING:
+                self.kin.clear_target(idx)
+            else:  # loiter: chase the current leader
+                leader = follower.leader
+                if self._leader_active(leader):
+                    self.kin.set_target(
+                        idx, tuple(self.kin.pos[self._index[leader]])
+                    )
+                else:
+                    self.kin.clear_target(idx)
+
+    def _update_links(self) -> None:
+        pos = self.kin.pos
+        for li, fi, link in self._links:
+            delta = pos[fi] - pos[li]
+            in_range = (delta[0] * delta[0] + delta[1] * delta[1]
+                        <= self.comm_radius * self.comm_radius)
+            link.loss_probability = self.base_loss if in_range else 1.0
+
+    # ---------------------------------------------------------- detection
+    def _detect(self, now: float) -> None:
+        if not self.n_pois:
+            return
+        undetected = np.flatnonzero(~self.poi_detected)
+        if undetected.size == 0:
+            return
+        for name in self.leader_names:
+            if not self._leader_active(name):
+                continue
+            dists = self.kin.distances_from(
+                self._index[name], self.pois[undetected]
+            )
+            hits = undetected[dists <= self.detect_radius]
+            for poi_idx in hits.tolist():
+                if self.poi_detected[poi_idx]:
+                    continue
+                task = self.leaders[name].note_task(
+                    _poi_name(poi_idx),
+                    (self.pois[poi_idx, 0], self.pois[poi_idx, 1]),
+                    now,
+                )
+                if task is not None:
+                    self.poi_detected[poi_idx] = True
+
+    # ---------------------------------------------------------- assurance
+    def _consert_cycle(self, now: float) -> None:
+        with obs.span("swarm.consert_cycle", sim_time=now):
+            for squad_id in sorted(self.squads):
+                leader = self.leaders[squad_id]
+                self.squads[squad_id].update(
+                    leader_ok=self._leader_active(squad_id),
+                    live_followers=len(leader.roster),
+                    planned_followers=self.planned[squad_id],
+                )
+            if not self.decider.squads:
+                return
+            decision = self.decider.decide()
+            self.verdicts[decision.verdict] = (
+                self.verdicts.get(decision.verdict, 0) + 1
+            )
+            self.decisions.append(dict(decision.to_dict(), t=now))
+            if obs.OBS.enabled:
+                obs.event(
+                    "info", "swarm.decider", "verdict",
+                    sim_time=now, verdict=decision.verdict,
+                    lost=len(decision.lost_squads),
+                )
+            for squad_id in decision.lost_squads:
+                self._recover_squad(squad_id, decision.tasking_squads, now)
+
+    def _recover_squad(
+        self, squad_id: str, survivors: list[str], now: float
+    ) -> None:
+        leader = self.leaders[squad_id]
+        followers, released = leader.demote(now)
+        if survivors:
+            for i, poi_id in enumerate(released):
+                self.leaders[survivors[i % len(survivors)]].accept_task(poi_id)
+            alive = [f for f in followers if f not in self.dead]
+            for i, fid in enumerate(alive):
+                new_leader = survivors[i % len(survivors)]
+                self.followers[fid].rehome(new_leader, now)
+                self.planned[new_leader] += 1
+        # The squad certificate leaves the mission tree: the mission has
+        # reconfigured around the loss, so later verdicts rate the
+        # surviving composition, not the ghost.
+        del self.decider.squads[squad_id]
+
+    # ------------------------------------------------------------- ticking
+    def step(self) -> None:
+        """Advance the world by one ``dt`` tick."""
+        now = (self._step_index + 1) * self.dt
+        self._step_index += 1
+        self._apply_faults(now)
+        self._update_targets(now)
+        arrived = self.kin.step(self.dt)
+        self.now = now
+        self._update_links()
+        self.bus.advance_clock(now)
+        self._detect(now)
+        for name in self.follower_names:
+            if name in self.dead:
+                continue
+            follower = self.followers[name]
+            if follower.state == FollowerState.ENROUTE and arrived[self._index[name]]:
+                follower.arrived(now)
+                self.kin.clear_target(self._index[name])
+        for name in self.leader_names:
+            if self._leader_active(name):
+                self.leaders[name].step(now)
+        for name in self.follower_names:
+            if name not in self.dead:
+                self.followers[name].step(now)
+        if now + 1e-9 >= self._next_consert:
+            self._consert_cycle(now)
+            self._next_consert += self.consert_period
+
+    def run(self) -> SwarmRun:
+        """Step to the horizon and measure the outcome."""
+        n_steps = int(round(self.horizon_s / self.dt))
+        with obs.span(
+            "swarm.run", k=self.k, rho=self.rho, n_pois=self.n_pois
+        ):
+            for _ in range(n_steps):
+                self.step()
+        return self.finalize()
+
+    # ------------------------------------------------------------ results
+    def finalize(self) -> SwarmRun:
+        """Close the ledger (orphan unserviced work) and compute metrics."""
+        now = self.now
+        for poi_id in sorted(self.ledger.tasks):
+            task = self.ledger.tasks[poi_id]
+            if task.state in (TaskState.PENDING, TaskState.ASSIGNED):
+                opened = task.open_assignment()
+                if opened is not None:
+                    opened.t_closed = now
+                    opened.outcome = "horizon"
+                task.owner = None
+                task.state = TaskState.ORPHANED
+                task.orphan_reason = (
+                    "no_leader" if task.leader is None else "horizon"
+                )
+
+        serviced = self.ledger.in_state(TaskState.SERVICED)
+        latency_trace = [
+            {
+                "poi": t.poi_id,
+                "t_detected": t.t_detected,
+                "t_serviced": t.t_serviced,
+                "latency_s": t.service_latency_s,
+            }
+            for t in serviced
+        ]
+        latencies = np.array([t["latency_s"] for t in latency_trace])
+
+        leader_counters: dict[str, int] = {}
+        for name in self.leader_names:
+            for key, value in self.leaders[name].counters.items():
+                leader_counters[key] = leader_counters.get(key, 0) + value
+        follower_counters: dict[str, int] = {}
+        for name in self.follower_names:
+            for key, value in self.followers[name].counters.items():
+                follower_counters[key] = follower_counters.get(key, 0) + value
+
+        detected = int(self.poi_detected.sum())
+        metrics: dict[str, Any] = {
+            "k_leaders": self.k,
+            "rho": self.rho,
+            "n_pois": self.n_pois,
+            "horizon_s": self.horizon_s,
+            "detected": detected,
+            "serviced": len(serviced),
+            "orphaned": len(self.ledger.in_state(TaskState.ORPHANED)),
+            "detection_fraction": (
+                detected / self.n_pois if self.n_pois else 0.0
+            ),
+            "coverage_fraction": (
+                len(serviced) / self.n_pois if self.n_pois else 0.0
+            ),
+            "latency_mean_s": float(latencies.mean()) if serviced else None,
+            "latency_p50_s": (
+                float(np.percentile(latencies, 50)) if serviced else None
+            ),
+            "latency_p95_s": (
+                float(np.percentile(latencies, 95)) if serviced else None
+            ),
+            "latency_max_s": float(latencies.max()) if serviced else None,
+            "messages": dict(self.census.counts),
+            "messages_total": self.census.total,
+            "messages_per_service": (
+                self.census.total / len(serviced) if serviced else None
+            ),
+            "leader": dict(sorted(leader_counters.items())),
+            "follower": dict(sorted(follower_counters.items())),
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "squads_lost": sorted(
+                s for s in self.squads
+                if self.squads[s].evaluate() == SQUAD_LOST
+            ),
+        }
+        return SwarmRun(
+            config=dict(self.config),
+            seed=self.seed,
+            ledger=self.ledger,
+            latency_trace=latency_trace,
+            decisions=self.decisions,
+            metrics=metrics,
+        )
+
+
+def build_swarm(config: dict[str, Any], seed: int = 0) -> SwarmSim:
+    """Construct a seeded, steppable swarm scenario."""
+    return SwarmSim(config, seed=seed)
+
+
+def run_swarm(config: dict[str, Any], seed: int = 0) -> SwarmRun:
+    """Run one swarm scenario start to finish."""
+    return build_swarm(config, seed=seed).run()

@@ -1,0 +1,79 @@
+"""Vectorized 2D point-mass kinematics for swarm-scale fleets.
+
+The full vectorized fleet engine (:mod:`repro.uav.fleet`) carries
+batteries, sensors, and fault state the swarm-sizing workload does not
+need; what that workload *does* need is moving thousands of UAVs toward
+per-UAV targets cheaply. This module is the minimal structure-of-arrays
+core: positions ``(N, 2)``, speeds ``(N,)``, targets ``(N, 2)``, one
+fused NumPy update per tick with exact arrival clamping (a UAV reaches
+its target in the tick it would overshoot — no oscillation around the
+goal, which matters because the tasking protocol keys "arrived" off it).
+
+Frozen (dead) UAVs simply stop being stepped: clear their target and
+their position stays put, which is what a crashed airframe does from the
+bus's point of view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SwarmKinematics:
+    """Structure-of-arrays positions + constant-speed target seeking."""
+
+    def __init__(self, positions: np.ndarray, speeds: np.ndarray) -> None:
+        self.pos = np.asarray(positions, dtype=np.float64).copy()
+        if self.pos.ndim != 2 or self.pos.shape[1] != 2:
+            raise ValueError("positions must be (N, 2)")
+        self.speed = np.asarray(speeds, dtype=np.float64).copy()
+        if self.speed.shape != (self.pos.shape[0],):
+            raise ValueError("speeds must be (N,)")
+        self.target = self.pos.copy()
+        self.has_target = np.zeros(self.pos.shape[0], dtype=bool)
+
+    @property
+    def n(self) -> int:
+        return self.pos.shape[0]
+
+    def set_target(self, index: int, target: tuple[float, float]) -> None:
+        self.target[index, 0] = float(target[0])
+        self.target[index, 1] = float(target[1])
+        self.has_target[index] = True
+
+    def clear_target(self, index: int) -> None:
+        self.has_target[index] = False
+
+    def distance_to_target(self, index: int) -> float:
+        delta = self.target[index] - self.pos[index]
+        return float(np.hypot(delta[0], delta[1]))
+
+    def step(self, dt: float) -> np.ndarray:
+        """Advance every targeted UAV by ``speed * dt`` toward its target.
+
+        Returns the boolean mask of UAVs that *arrived this tick* (their
+        remaining distance was ≤ one tick of travel; position snaps to
+        the target exactly). Arrived UAVs keep their target until the
+        caller clears or replaces it, but don't move further.
+        """
+        delta = self.target - self.pos
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        reach = self.speed * dt
+        active = self.has_target & (dist > 0.0)
+        arrive = active & (dist <= reach)
+        move = active & ~arrive
+        # np.divide with a where-mask leaves masked-out lanes untouched.
+        scale = np.zeros_like(dist)
+        np.divide(reach, dist, out=scale, where=move)
+        self.pos[move] += delta[move] * scale[move, None]
+        self.pos[arrive] = self.target[arrive]
+        return arrive
+
+    def pairwise_distance(self, i: int, j: int) -> float:
+        delta = self.pos[j] - self.pos[i]
+        return float(np.hypot(delta[0], delta[1]))
+
+    def distances_from(self, index: int, points: np.ndarray) -> np.ndarray:
+        """Distances from UAV ``index`` to each row of ``points`` (M, 2)."""
+        delta = np.asarray(points, dtype=np.float64) - self.pos[index]
+        return np.hypot(delta[:, 0], delta[:, 1])

@@ -1,0 +1,115 @@
+"""Golden swarm-tasking regression: one pinned faulted scenario.
+
+The property suite proves the swarm stack is *self*-consistent (same
+seed ⇒ same ledger); this file pins the *absolute* behaviour: the full
+task ledger, per-PoI latency trace, ConSert decision log and summary
+metrics of one K=2, ρ=3, P=50 scenario — the same faulted point the
+``swarm-sizing`` smoke grid runs in CI — are stored hex-float in
+``tests/data/golden_swarm_trace.json`` and must reproduce exactly. A
+change that shifts protocol timing or recovery semantics now fails
+against the golden even if it stays internally deterministic.
+
+If a change is *supposed* to move the trace (timeout policy change,
+assignment-order fix), regenerate and review the diff like any other
+code:
+
+    PYTHONPATH=src python tests/test_golden_swarm.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.swarm.sim import run_swarm
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_swarm_trace.json"
+
+#: The swarm-sizing smoke grid's faulted point (see
+#: ``repro.swarm.experiment.swarm_sizing_grid``): long enough for the
+#: scripted follower loss (30 s) and leader demotion (60 s) to bite and
+#: for the recovery — task transfer, re-homing — to finish servicing.
+CONFIG = {
+    "k_leaders": 2,
+    "rho": 3,
+    "n_pois": 50,
+    "area_m": 400.0,
+    "horizon_s": 150.0,
+    "faults": [
+        {"type": "follower_loss", "uav": "f00_01", "at": 30.0},
+        {"type": "leader_demotion", "uav": "lead01", "at": 60.0},
+    ],
+}
+SEED = 123
+
+
+def hexfloat(value):
+    """Recursively hex-encode floats; bit-exact and JSON-safe."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, dict):
+        return {key: hexfloat(value[key]) for key in value}
+    if isinstance(value, (list, tuple)):
+        return [hexfloat(item) for item in value]
+    return value
+
+
+def collect_swarm_trace() -> dict:
+    """Run the pinned scenario; everything measurable, hex-float."""
+    run = run_swarm(dict(CONFIG), seed=SEED)
+    return {
+        "config": CONFIG,
+        "seed": SEED,
+        "ledger_fingerprint": run.ledger_fingerprint,
+        "ledger": hexfloat(run.ledger.to_dict()),
+        "latency_trace": hexfloat(run.latency_trace),
+        "decisions": hexfloat(run.decisions),
+        "metrics": hexfloat(run.metrics),
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.is_file(), (
+        f"{GOLDEN_PATH} missing — regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_swarm.py`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_swarm_trace_pinned(golden):
+    # Hex-float encoding leaves no tolerance to hide behind: the run
+    # must reproduce the golden to the last bit.
+    assert collect_swarm_trace() == golden
+
+
+def test_golden_pins_real_recovery(golden):
+    # Meta-check: the pinned scenario actually exercises the interesting
+    # paths — a golden where nothing fails would pin nothing worth
+    # pinning.
+    metrics = golden["metrics"]
+    assert metrics["serviced"] > 0
+    assert metrics["leader"]["follower_deaths"] >= 1
+    assert metrics["follower"]["rehomes"] >= 1
+    assert metrics["squads_lost"] == ["lead01"]
+    outcomes = {
+        assignment["outcome"]
+        for task in golden["ledger"].values()
+        for assignment in task["assignments"]
+    }
+    assert "confirmed" in outcomes
+    assert "rehome" in outcomes
+    # Every verdict the mission decider can reach under these faults.
+    assert "swarm_rehome_needed" in golden["metrics"]["verdicts"]
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(collect_swarm_trace(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
