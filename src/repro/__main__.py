@@ -20,6 +20,9 @@ Usage::
     python -m repro campaign swarm-sizing --preset smoke
                                   # leader-follower tasking over the degraded
                                   # bus: latency/coverage vs K, rho, P
+    python -m repro campaign planner-ablation --preset smoke
+                                  # obstacle-aware planning: fixed patterns vs
+                                  # planned tours on path length/time-to-find/energy
 
     python -m repro serve --port 8080 --workers 2      # campaign service:
                                   # POST /jobs, GET /jobs/<id>, NDJSON

@@ -14,6 +14,7 @@ import repro.experiments.monte_carlo  # noqa: F401  (registers "monte-carlo")
 import repro.harness.chaos  # noqa: F401  (registers "chaos")
 import repro.harness.fuzz.campaign  # noqa: F401  (registers "fuzz")
 import repro.harness.synthetic  # noqa: F401  (registers "synthetic")
+import repro.plan.experiment  # noqa: F401  (registers "planner-ablation")
 import repro.swarm.experiment  # noqa: F401  (registers "swarm-sizing")
 
 from repro.harness.campaign import get_experiment, list_experiments

@@ -81,6 +81,11 @@ class FuzzProfile:
     swarm_horizon_s: tuple[float, float] = (60.0, 180.0)
     #: Maximum scripted swarm faults (follower loss / leader demotion).
     swarm_max_faults: int = 3
+    #: Probability the scenario carries a 3D ``obstacles`` block (routed
+    #: missions + the ``planned_path_clearance`` oracle). The gate draw
+    #: only happens when this is non-zero, so tiers that keep the default
+    #: 0.0 preserve their existing draw sequences byte for byte.
+    p_obstacles: float = 0.0
 
 
 PROFILES: dict[str, FuzzProfile] = {
@@ -133,6 +138,9 @@ PROFILES: dict[str, FuzzProfile] = {
             swarm_pois=(10, 120),
             swarm_loss=(0.0, 0.5),
             swarm_max_faults=3,
+            # A third of hostile SAR scenarios fly an urban obstacle
+            # field, exercising the planner and its clearance oracle.
+            p_obstacles=0.35,
         ),
     )
 }
@@ -251,7 +259,57 @@ class ScenarioGenerator:
             }
             for _ in range(self._int(0, profile.max_attacks))
         ]
+
+        # Trailing, gated draw: tiers with p_obstacles == 0.0 never touch
+        # the stream here, so their historical corpora stay byte-identical.
+        if profile.p_obstacles > 0.0 and self._chance(profile.p_obstacles):
+            config["obstacles"] = self._draw_obstacles(area)
         return config
+
+    def _draw_obstacles(self, area: float) -> dict:
+        """One urban obstacle block over an ``area``-sided world.
+
+        All primitives rise from the ground and the ceiling is left
+        implicit (the loader derives it above the tallest obstacle plus
+        inflation), so free space is always connected through the top
+        layer and the A* planner can never be asked for an impossible
+        route.
+        """
+        cell = float(self._choice((6.0, 8.0)))
+        inflation = self._uniform(2.0, 5.0, ndigits=1)
+        boxes = []
+        for _ in range(self._int(1, 3)):
+            center_e = self._uniform(0.1 * area, 0.9 * area, ndigits=1)
+            center_n = self._uniform(0.1 * area, 0.9 * area, ndigits=1)
+            half_e = self._uniform(5.0, 30.0, ndigits=1)
+            half_n = self._uniform(5.0, 30.0, ndigits=1)
+            height = self._uniform(10.0, 40.0, ndigits=1)
+            boxes.append(
+                {
+                    "min": [round(center_e - half_e, 1),
+                            round(center_n - half_n, 1), 0.0],
+                    "max": [round(center_e + half_e, 1),
+                            round(center_n + half_n, 1), height],
+                }
+            )
+        cylinders = []
+        for _ in range(self._int(0, 2)):
+            cylinders.append(
+                {
+                    "center": [
+                        self._uniform(0.1 * area, 0.9 * area, ndigits=1),
+                        self._uniform(0.1 * area, 0.9 * area, ndigits=1),
+                    ],
+                    "radius": self._uniform(3.0, 15.0, ndigits=1),
+                    "height": self._uniform(10.0, 35.0, ndigits=1),
+                }
+            )
+        return {
+            "cell_m": cell,
+            "inflation_m": inflation,
+            "boxes": boxes,
+            "cylinders": cylinders,
+        }
 
     def _draw_fault(
         self, profile: FuzzProfile, uav_ids: list[str], horizon: float

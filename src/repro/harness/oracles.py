@@ -34,6 +34,11 @@ scenario config under the full oracle suite:
     every cycle's guarantees, ConSert offers, runtime evidence, and
     mission verdict, plus the full traces at the end of the run (the
     assurance-plane analogue of ``engine_lockstep``).
+``planned_path_clearance``
+    In a scenario with an ``"obstacles"`` block, every waypoint plan a
+    UAV flies (initial missions and every in-flight ``replace``) is
+    collision-free leg by leg against the *raw* voxel grid — the
+    planner's inflation margin is its own safety buffer, not an excuse.
 ``no_unhandled_exception``
     The run completes without the simulator raising.
 ``swarm_tasking``
@@ -278,6 +283,48 @@ class LandedDriftOracle(Oracle):
                     self._landed_at[uav_id] = pos  # report drift once per hop
             elif uav.mode is FlightMode.LANDED:
                 self._landed_at[uav_id] = pos
+
+
+class PlannedPathClearanceOracle(Oracle):
+    """Every flown waypoint plan clears the scenario's obstacle field.
+
+    Re-checks a UAV whenever its plan's waypoint *list object* changes
+    (``WaypointPlan.replace`` always installs a fresh list), so both the
+    initial mission and every in-flight re-plan are verified. Legs are
+    checked against the raw grid — the planner searched the inflated one,
+    so any contact here means the inflation margin was fully consumed.
+    """
+
+    name = "planned_path_clearance"
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        # uav_id -> the waypoint list object already verified. Held by
+        # reference (not id()) so a freed list's recycled id can never
+        # mask a plan change.
+        self._checked: dict[str, list] = {}
+
+    def observe(self, world: World, now: float) -> None:
+        field = getattr(world, "obstacles", None)
+        if field is None:
+            return
+        for uav_id, uav in world.uavs.items():
+            waypoints = uav.plan.waypoints
+            if self._checked.get(uav_id) is waypoints:
+                continue
+            self._checked[uav_id] = waypoints
+            if not waypoints:
+                continue
+            legs = [tuple(uav.dynamics.position)] + [
+                tuple(wp) for wp in waypoints
+            ]
+            for a, b in zip(legs, legs[1:]):
+                if not field.grid.segment_free(a, b):
+                    self.record(
+                        now, uav_id,
+                        f"planned leg {tuple(round(v, 1) for v in a)} -> "
+                        f"{tuple(round(v, 1) for v in b)} crosses an obstacle",
+                    )
 
 
 class EngineLockstepOracle(Oracle):
@@ -564,6 +611,7 @@ def run_scenario_oracles(
         SocMonotonicOracle(max_violations=max_violations),
         TeleportBoundOracle(max_violations=max_violations),
         LandedDriftOracle(max_violations=max_violations),
+        PlannedPathClearanceOracle(max_violations=max_violations),
     ]
     lockstep = EngineLockstepOracle(max_violations=max_violations)
     guarantee = GuaranteeSanityOracle(max_violations=max_violations)

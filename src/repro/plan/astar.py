@@ -1,0 +1,199 @@
+"""A* local planner over the inflated occupancy grid.
+
+Plans between ENU points through the configuration-space grid
+(:class:`repro.plan.grid.OccupancyGrid3D` after inflation): 26-connected
+A* with an exact Euclidean heuristic, followed by a greedy straight-line
+*shortcut smoother* that removes the grid staircase wherever the direct
+segment between two path vertices is free. A fast path skips the search
+entirely when the straight start -> goal segment is already free — in
+open terrain the planner costs one segment query per leg.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.plan.grid import OccupancyGrid3D, PlanError
+
+#: Hard cap on A* node expansions — a planner bug (or a maliciously
+#: dense world) fails loudly instead of hanging the simulation.
+MAX_EXPANSIONS = 400_000
+
+#: The 26-neighbourhood with per-move Euclidean costs, precomputed once.
+_NEIGHBORS = [
+    (di, dj, dk, math.sqrt(di * di + dj * dj + dk * dk))
+    for di in (-1, 0, 1)
+    for dj in (-1, 0, 1)
+    for dk in (-1, 0, 1)
+    if (di, dj, dk) != (0, 0, 0)
+]
+
+
+def astar_cells(
+    occupied: np.ndarray,
+    start: tuple[int, int, int],
+    goal: tuple[int, int, int],
+    max_expansions: int = MAX_EXPANSIONS,
+) -> list[tuple[int, int, int]] | None:
+    """Shortest 26-connected cell path through a boolean grid.
+
+    Returns ``None`` when ``goal`` is unreachable from ``start`` (or the
+    expansion cap is hit). Costs are Euclidean per move, the heuristic is
+    straight-line distance, so the path is optimal on the lattice.
+    """
+    nx, ny, nz = occupied.shape
+    if occupied[start] or occupied[goal]:
+        return None
+    if start == goal:
+        return [start]
+
+    def h(cell: tuple[int, int, int]) -> float:
+        return math.dist(cell, goal)
+
+    g_score: dict[tuple[int, int, int], float] = {start: 0.0}
+    came: dict[tuple[int, int, int], tuple[int, int, int]] = {}
+    frontier: list[tuple[float, tuple[int, int, int]]] = [(h(start), start)]
+    closed: set[tuple[int, int, int]] = set()
+    expansions = 0
+    while frontier:
+        _, cell = heapq.heappop(frontier)
+        if cell in closed:
+            continue
+        if cell == goal:
+            path = [cell]
+            while cell in came:
+                cell = came[cell]
+                path.append(cell)
+            path.reverse()
+            return path
+        closed.add(cell)
+        expansions += 1
+        if expansions > max_expansions:
+            return None
+        ci, cj, ck = cell
+        base = g_score[cell]
+        for di, dj, dk, cost in _NEIGHBORS:
+            ni, nj, nk = ci + di, cj + dj, ck + dk
+            if not (0 <= ni < nx and 0 <= nj < ny and 0 <= nk < nz):
+                continue
+            neighbor = (ni, nj, nk)
+            if neighbor in closed or occupied[ni, nj, nk]:
+                continue
+            tentative = base + cost
+            if tentative < g_score.get(neighbor, math.inf):
+                g_score[neighbor] = tentative
+                came[neighbor] = cell
+                heapq.heappush(frontier, (tentative + h(neighbor), neighbor))
+    return None
+
+
+def shortcut_path(
+    grid: OccupancyGrid3D, points: list[tuple[float, float, float]]
+) -> list[tuple[float, float, float]]:
+    """Greedy straight-line smoothing of a piecewise path.
+
+    From each kept vertex, jump to the farthest later vertex reachable by
+    a free straight segment; the result visits a subsequence of the input
+    vertices and is never longer than the input path.
+    """
+    if len(points) <= 2:
+        return list(points)
+    out = [points[0]]
+    i = 0
+    while i < len(points) - 1:
+        j = len(points) - 1
+        while j > i + 1 and not grid.segment_free(points[i], points[j]):
+            j -= 1
+        out.append(points[j])
+        i = j
+    return out
+
+
+def _anchor(
+    grid: OccupancyGrid3D, point: tuple[float, float, float]
+) -> tuple[float, float, float]:
+    """An in-grid free point anchoring ``point`` on the cell lattice.
+
+    Points already inside the grid pass through unchanged; points outside
+    (free by definition — e.g. a waypoint on the area boundary or above
+    the obstacle ceiling) are clamped just inside the volume and, if the
+    clamped cell is occupied, snapped to the nearest free cell centre.
+    """
+    arr = np.asarray(point, dtype=float)
+    origin = np.asarray(grid.origin, dtype=float)
+    span = np.asarray(grid.shape, dtype=float) * grid.cell_m
+    eps = 1e-6 * grid.cell_m
+    clamped = np.minimum(np.maximum(arr, origin + eps), origin + span - eps)
+    return grid.nearest_free(tuple(float(v) for v in clamped))
+
+
+def plan_path(
+    grid: OccupancyGrid3D,
+    start: tuple[float, float, float],
+    goal: tuple[float, float, float],
+) -> list[tuple[float, float, float]]:
+    """A collision-free ENU polyline from ``start`` to ``goal``.
+
+    Endpoints inside inflated obstacles are snapped to the nearest free
+    cell centre first (the returned path starts/ends at the snapped
+    points). Straight-line-free legs return directly; otherwise A* runs
+    on the cell lattice and the staircase is shortcut-smoothed. Raises
+    :class:`PlanError` when no route exists.
+    """
+    s = grid.nearest_free(start)
+    g = grid.nearest_free(goal)
+    if grid.segment_free(s, g):
+        return [s, g]
+    s_in = _anchor(grid, s)
+    g_in = _anchor(grid, g)
+    idx, _ = grid.point_indices(np.asarray([s_in, g_in]))
+    cells = astar_cells(
+        grid.occupied,
+        tuple(int(v) for v in idx[0]),
+        tuple(int(v) for v in idx[1]),
+    )
+    if cells is None:
+        raise PlanError(
+            f"no collision-free route from {tuple(round(v, 1) for v in s)} "
+            f"to {tuple(round(v, 1) for v in g)}"
+        )
+    centers = grid.cell_centers(np.asarray(cells))
+    waypoints = [s]
+    if s_in != s:
+        waypoints.append(s_in)
+    waypoints.extend(tuple(float(v) for v in c) for c in centers[1:-1])
+    if g_in != g:
+        waypoints.append(g_in)
+    waypoints.append(g)
+    return shortcut_path(grid, waypoints)
+
+
+def route_waypoints(
+    field,
+    start: tuple[float, float, float],
+    waypoints: list[tuple[float, float, float]],
+) -> list[tuple[float, float, float]]:
+    """Route a mission waypoint list around a scenario's obstacles.
+
+    Plans each leg on ``field.inflated`` (an
+    :class:`~repro.plan.grid.ObstacleField`), concatenating the legs into
+    one flyable list that starts *after* ``start`` (the vehicle's current
+    position). Waypoints inside inflated obstacles are replaced by their
+    nearest free snap; obstacle-free legs pass through unchanged, so
+    scenarios without a blocked leg keep their exact waypoint lists.
+    """
+    out: list[tuple[float, float, float]] = []
+    cursor = tuple(float(v) for v in start)
+    for waypoint in waypoints:
+        leg = plan_path(field.inflated, cursor, waypoint)
+        # plan_path may snap a start that sits inside an inflated
+        # obstacle (e.g. a base next to a wall); keep the snap point so
+        # the flown polyline matches the planned one.
+        if leg[0] != cursor:
+            out.append(leg[0])
+        out.extend(leg[1:])
+        cursor = out[-1]
+    return out

@@ -10,6 +10,26 @@ areas efficiently".
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CameraConfig:
+    """Downward-camera geometry shared by planning and detection gating.
+
+    Coverage plans space their tracks by the swath this camera yields and
+    the mission's detection gate uses the *same* swath, so the two can
+    never disagree about what "inside the camera footprint" means.
+    Loaded from the optional ``"camera"`` scenario block; the defaults
+    match the historical module-level constants.
+    """
+
+    half_fov_deg: float = 35.0
+    overlap: float = 0.15
+
+    def swath_width_m(self, altitude_m: float) -> float:
+        """Effective ground swath at ``altitude_m`` for this camera."""
+        return swath_width_m(altitude_m, self.half_fov_deg, self.overlap)
 
 
 def swath_width_m(altitude_m: float, half_fov_deg: float = 35.0, overlap: float = 0.15) -> float:

@@ -12,7 +12,8 @@ import math
 from dataclasses import dataclass, field
 
 
-from repro.sar.coverage import boustrophedon_path, partition_area, swath_width_m
+from repro.plan.astar import route_waypoints
+from repro.sar.coverage import CameraConfig, boustrophedon_path, partition_area
 from repro.sar.detection import DetectionModel, DetectionOutcome
 from repro.uav.uav import FlightMode, Uav
 from repro.uav.world import World
@@ -68,6 +69,9 @@ class SarMission:
     altitude_m: float = 20.0
     cell_size_m: float = 10.0
     detector: DetectionModel = None  # type: ignore[assignment]
+    # Camera geometry used for BOTH track spacing and detection gating;
+    # defaults to the world's scenario-loaded camera, then to stock optics.
+    camera: CameraConfig = None  # type: ignore[assignment]
     metrics: MissionMetrics = field(default_factory=MissionMetrics)
     rescan_queue: list[tuple[float, float]] = field(default_factory=list)
     _detect_cooldown: dict[tuple[str, str], float] = field(default_factory=dict)
@@ -75,6 +79,9 @@ class SarMission:
     def __post_init__(self) -> None:
         if self.detector is None:
             self.detector = DetectionModel(rng=self.world.rng)
+        if self.camera is None:
+            world_camera = getattr(self.world, "camera", None)
+            self.camera = world_camera if world_camera is not None else CameraConfig()
         east, north = self.world.area_size_m
         self.metrics.cells_total = math.ceil(east / self.cell_size_m) * math.ceil(
             north / self.cell_size_m
@@ -83,15 +90,27 @@ class SarMission:
 
     # ----------------------------------------------------------------- plan
     def assign_paths(self, altitude_m: float | None = None) -> dict[str, list]:
-        """Partition the area and start every UAV on its strip."""
+        """Partition the area and start every UAV on its strip.
+
+        When the world carries an obstacle field (an ``"obstacles"``
+        scenario block), each strip's lawnmower track is routed around the
+        obstacles leg by leg before launch.
+        """
         if altitude_m is not None:
             self.altitude_m = altitude_m
         uav_ids = sorted(self.world.uavs)
         strips = partition_area(self.world.area_size_m, len(uav_ids))
+        obstacles = getattr(self.world, "obstacles", None)
         plans: dict[str, list] = {}
         for uav_id, bounds in zip(uav_ids, strips):
-            path = boustrophedon_path(bounds, self.altitude_m)
-            self.world.uavs[uav_id].start_mission(path)
+            uav = self.world.uavs[uav_id]
+            path = boustrophedon_path(
+                bounds, self.altitude_m, self.camera.half_fov_deg,
+                self.camera.overlap,
+            )
+            if obstacles is not None:
+                path = route_waypoints(obstacles, uav.dynamics.position, path)
+            uav.start_mission(path)
             plans[uav_id] = path
         self.metrics.started_at = self.world.time
         self.metrics.persons_total = len(self.world.persons)
@@ -102,12 +121,21 @@ class SarMission:
 
         Remaining waypoints keep their ground track; only the altitude
         changes — the paper's 'descend to increase SAR accuracy' response.
+        In an obstacle world the re-flown track is re-routed through the
+        planner, since a track that was clear at the old altitude may clip
+        a rooftop at the new one.
         """
         self.altitude_m = altitude_m
+        obstacles = getattr(self.world, "obstacles", None)
         for uav in self.world.uavs.values():
             if uav.mode is FlightMode.MISSION:
                 remaining = uav.plan.waypoints[uav.plan.index :]
-                uav.plan.replace([(e, n, altitude_m) for e, n, _ in remaining])
+                track = [(e, n, altitude_m) for e, n, _ in remaining]
+                if obstacles is not None and track:
+                    track = route_waypoints(
+                        obstacles, uav.dynamics.position, track
+                    )
+                uav.plan.replace(track)
 
     # ----------------------------------------------------------------- step
     def step(self) -> None:
@@ -129,7 +157,7 @@ class SarMission:
         east, north, alt = uav.dynamics.position
         if alt < 1.0:
             return
-        swath = swath_width_m(max(alt, 1.0)) / 2.0
+        swath = self.camera.swath_width_m(max(alt, 1.0)) / 2.0
         # Every cell whose centre lies inside the camera swath counts as
         # covered, bounded to the search area.
         east_max, north_max = self.world.area_size_m

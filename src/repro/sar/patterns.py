@@ -39,7 +39,8 @@ def expanding_square(
     if max_radius_m <= 0.0:
         raise ValueError("max_radius_m must be positive")
     spacing = swath_width_m(altitude_m, half_fov_deg, overlap)
-    east, north = datum
+    east0, north0 = datum
+    east, north = east0, north0
     waypoints = [(east, north, altitude_m)]
     # Headings cycle N, E, S, W; leg length grows every second leg.
     directions = [(0.0, 1.0), (1.0, 0.0), (0.0, -1.0), (-1.0, 0.0)]
@@ -47,8 +48,13 @@ def expanding_square(
     i = 0
     while leg <= 2.0 * max_radius_m:
         de, dn = directions[i % 4]
-        east += de * leg
-        north += dn * leg
+        cand_east = east + de * leg
+        cand_north = north + dn * leg
+        # Containment: stop before any vertex leaves the declared search
+        # radius — the search area assignment is a hard boundary.
+        if math.hypot(cand_east - east0, cand_north - north0) > max_radius_m:
+            break
+        east, north = cand_east, cand_north
         waypoints.append((east, north, altitude_m))
         if i % 2 == 1:
             leg += spacing
@@ -86,7 +92,10 @@ def sector_search(
             altitude_m,
         )
         waypoints.append(out)
-        chord_heading = heading + 60.0
+        # The chord crosses half a sector (180/n degrees) so its far end
+        # lands back on the search-radius circle; the historical constant
+        # 60.0 is the n_sectors == 3 special case.
+        chord_heading = heading + 180.0 / n_sectors
         phi = math.radians(chord_heading)
         chord = (
             east0 + radius_m * math.sin(phi),

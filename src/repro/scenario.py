@@ -15,6 +15,12 @@ Schema (all sections optional except ``uavs``)::
       "engine": "scalar",  # or "vectorized" (bit-identical, batched)
       "environment": {"wind_mean_mps": 5, "wind_direction_deg": 270,
                        "ambient_c": 30, "visibility": "good"},
+      "obstacles": {                       # optional 3D obstacle field
+        "cell_m": 4.0, "inflation_m": 3.0, "ceiling_m": 60.0,
+        "boxes": [{"min": [100, 100, 0], "max": [140, 160, 30]}],
+        "cylinders": [{"center": [220, 80], "radius": 12, "height": 25}]
+      },
+      "camera": {"half_fov_deg": 35.0, "overlap": 0.15},
       "persons": 8,
       "uavs": [
         {"id": "uav1", "base": [30, -20, 0], "rotors": 4,
@@ -46,7 +52,12 @@ Schema (all sections optional except ``uavs``)::
     }
 
 A ``"mission"`` entry preloads a waypoint plan (the UAV takes off in
-MISSION mode at t=0). The comm fault types need a
+MISSION mode at t=0); when an ``"obstacles"`` block is present the
+mission's legs are routed around the obstacle field by
+:mod:`repro.plan` before launch, and the loaded
+:class:`~repro.plan.grid.ObstacleField` /
+:class:`~repro.sar.coverage.CameraConfig` ride on the world for mission
+builders. The comm fault types need a
 :class:`~repro.middleware.degraded.DegradedBus` transport; the loader
 builds one automatically when any comm fault (or an explicit ``"comms"``
 section) is present, seeded from the scenario seed (or
@@ -67,6 +78,8 @@ import numpy as np
 
 from repro.geo import EnuFrame, GeoPoint
 from repro.middleware.attacks import SpoofingAttack
+from repro.plan import ObstacleField, PlanError, route_waypoints
+from repro.sar.coverage import CameraConfig
 from repro.middleware.degraded import DegradedBus
 from repro.uav.battery import BatterySpec
 from repro.uav.environment import Environment, GustProcess
@@ -236,6 +249,97 @@ def _build_fault(
     raise ScenarioError(f"{where}: unknown fault type {kind!r}")
 
 
+def _build_obstacles(
+    spec: Any, area: tuple[float, float]
+) -> ObstacleField:
+    """Build the 3D obstacle field from an ``"obstacles"`` config block."""
+    if not isinstance(spec, dict):
+        raise ScenarioError(
+            f"obstacles: expected an object, got {spec!r}"
+        )
+    cell = _number(spec.get("cell_m", 4.0), "obstacles.cell_m")
+    if cell <= 0.0:
+        raise ScenarioError(f"obstacles.cell_m: must be positive, got {cell!r}")
+    inflation = _number(spec.get("inflation_m", 3.0), "obstacles.inflation_m")
+    if inflation < 0.0:
+        raise ScenarioError(
+            f"obstacles.inflation_m: must be >= 0, got {inflation!r}"
+        )
+    box_specs = spec.get("boxes", ())
+    if not isinstance(box_specs, (list, tuple)):
+        raise ScenarioError(
+            f"obstacles.boxes: expected a list, got {box_specs!r}"
+        )
+    boxes = []
+    top = 0.0
+    for i, box in enumerate(box_specs):
+        where = f"obstacles.boxes[{i}]"
+        if not isinstance(box, dict):
+            raise ScenarioError(f"{where}: expected an object, got {box!r}")
+        lo = _vector(box.get("min"), 3, f"{where}.min")
+        hi = _vector(box.get("max"), 3, f"{where}.max")
+        if any(h <= l for l, h in zip(lo, hi)):
+            raise ScenarioError(
+                f"{where}: min {lo!r} must be strictly below max {hi!r}"
+            )
+        boxes.append((lo, hi))
+        top = max(top, hi[2])
+    cyl_specs = spec.get("cylinders", ())
+    if not isinstance(cyl_specs, (list, tuple)):
+        raise ScenarioError(
+            f"obstacles.cylinders: expected a list, got {cyl_specs!r}"
+        )
+    cylinders = []
+    for i, cyl in enumerate(cyl_specs):
+        where = f"obstacles.cylinders[{i}]"
+        if not isinstance(cyl, dict):
+            raise ScenarioError(f"{where}: expected an object, got {cyl!r}")
+        center = _vector(cyl.get("center"), 2, f"{where}.center")
+        radius = _number(cyl.get("radius"), f"{where}.radius")
+        height = _number(cyl.get("height"), f"{where}.height")
+        if radius <= 0.0 or height <= 0.0:
+            raise ScenarioError(
+                f"{where}: radius/height must be positive, got "
+                f"{radius!r}/{height!r}"
+            )
+        cylinders.append((center, radius, height))
+        top = max(top, height)
+    # Default ceiling leaves a guaranteed-free layer above the tallest
+    # obstacle (even after inflation) so free space stays connected and
+    # the planner can always route over the top.
+    ceiling = _number(
+        spec.get("ceiling_m", top + inflation + 2.0 * cell), "obstacles.ceiling_m"
+    )
+    if ceiling <= 0.0:
+        raise ScenarioError(
+            f"obstacles.ceiling_m: must be positive, got {ceiling!r}"
+        )
+    return ObstacleField.build(
+        size_m=(area[0], area[1], ceiling),
+        cell_m=cell,
+        boxes=boxes,
+        cylinders=cylinders,
+        inflation_m=inflation,
+    )
+
+
+def _build_camera(spec: Any) -> CameraConfig:
+    """Build the camera geometry from a ``"camera"`` config block."""
+    if not isinstance(spec, dict):
+        raise ScenarioError(f"camera: expected an object, got {spec!r}")
+    half_fov = _number(spec.get("half_fov_deg", 35.0), "camera.half_fov_deg")
+    if not 0.0 < half_fov < 90.0:
+        raise ScenarioError(
+            f"camera.half_fov_deg: must be in (0, 90), got {half_fov!r}"
+        )
+    overlap = _number(spec.get("overlap", 0.15), "camera.overlap")
+    if not 0.0 <= overlap < 1.0:
+        raise ScenarioError(
+            f"camera.overlap: must be in [0, 1), got {overlap!r}"
+        )
+    return CameraConfig(half_fov_deg=half_fov, overlap=overlap)
+
+
 def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario:
     """Build a runnable scenario from a configuration dict.
 
@@ -289,6 +393,13 @@ def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario
         engine=engine,
         **bus_kwargs,
     )
+
+    obstacles_config = config.get("obstacles")
+    if obstacles_config is not None:
+        world.obstacles = _build_obstacles(obstacles_config, (area[0], area[1]))
+    camera_config = config.get("camera")
+    if camera_config is not None:
+        world.camera = _build_camera(camera_config)
 
     env_config = config.get("environment")
     if env_config:
@@ -347,12 +458,19 @@ def load_scenario(config: dict[str, Any], engine: str | None = None) -> Scenario
                     f"{where}.mission: expected a non-empty waypoint list, "
                     f"got {mission!r}"
                 )
-            uav.start_mission(
-                [
-                    _vector(wp, 3, f"{where}.mission[{i}]")
-                    for i, wp in enumerate(mission)
-                ]
-            )
+            waypoints = [
+                _vector(wp, 3, f"{where}.mission[{i}]")
+                for i, wp in enumerate(mission)
+            ]
+            if world.obstacles is not None:
+                # Route the mission legs around the obstacle field so the
+                # archived waypoints may cut through buildings but the
+                # flown plan never does.
+                try:
+                    waypoints = route_waypoints(world.obstacles, base, waypoints)
+                except PlanError as exc:
+                    raise ScenarioError(f"{where}.mission: {exc}") from exc
+            uav.start_mission(waypoints)
 
     n_persons = _integer(config.get("persons", 0), "persons")
     if n_persons:
@@ -416,11 +534,18 @@ _KNOWN_TOP_KEYS = frozenset(
     {
         "description", "seed", "area_size_m", "dt", "engine", "environment",
         "persons", "uavs", "faults", "attacks", "comms", "horizon_s", "chaos",
+        "obstacles", "camera",
     }
 )
 _KNOWN_ENV_KEYS = frozenset(
     {"wind_mean_mps", "wind_direction_deg", "ambient_c", "visibility"}
 )
+_KNOWN_OBSTACLES_KEYS = frozenset(
+    {"cell_m", "inflation_m", "ceiling_m", "boxes", "cylinders"}
+)
+_KNOWN_BOX_KEYS = frozenset({"min", "max"})
+_KNOWN_CYLINDER_KEYS = frozenset({"center", "radius", "height"})
+_KNOWN_CAMERA_KEYS = frozenset({"half_fov_deg", "overlap"})
 _KNOWN_UAV_KEYS = frozenset({"id", "base", "rotors", "max_speed_mps", "mission"})
 _KNOWN_FAULT_KEYS: dict[str, frozenset[str]] = {
     "battery_collapse": frozenset({"type", "uav", "at", "soc_drop_to"}),
@@ -471,6 +596,28 @@ def lint_scenario(config: Any) -> list[str]:
         config.get("environment"), _KNOWN_ENV_KEYS, "environment", problems
     )
     _lint_unknown_keys(config.get("comms"), _KNOWN_COMMS_KEYS, "comms", problems)
+    obstacles = config.get("obstacles")
+    if obstacles is not None:
+        _lint_unknown_keys(
+            obstacles, _KNOWN_OBSTACLES_KEYS, "obstacles", problems
+        )
+        if isinstance(obstacles, dict):
+            boxes = obstacles.get("boxes")
+            if isinstance(boxes, (list, tuple)):
+                for i, box in enumerate(boxes):
+                    _lint_unknown_keys(
+                        box, _KNOWN_BOX_KEYS, f"obstacles.boxes[{i}]", problems
+                    )
+            cylinders = obstacles.get("cylinders")
+            if isinstance(cylinders, (list, tuple)):
+                for i, cyl in enumerate(cylinders):
+                    _lint_unknown_keys(
+                        cyl, _KNOWN_CYLINDER_KEYS,
+                        f"obstacles.cylinders[{i}]", problems,
+                    )
+    camera = config.get("camera")
+    if camera is not None:
+        _lint_unknown_keys(camera, _KNOWN_CAMERA_KEYS, "camera", problems)
     uavs = config.get("uavs")
     if isinstance(uavs, (list, tuple)):
         for i, uav in enumerate(uavs):

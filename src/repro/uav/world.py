@@ -59,6 +59,12 @@ class World:
     # batches the fleet physics through repro.uav.fleet.FleetEngine, which
     # is bit-identical to scalar (see tests/test_fleet_equivalence.py).
     engine: str = "scalar"
+    # Obstacle field (repro.plan.ObstacleField) and camera geometry
+    # (repro.sar.coverage.CameraConfig) set by the scenario loader. Typed
+    # loosely because this substrate layer never imports upward — planners
+    # and missions that know the concrete types live above it.
+    obstacles: object | None = None
+    camera: object | None = None
     _fleet: FleetEngine | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:

@@ -88,8 +88,8 @@ class TestCleanScenariosPass:
         assert report.passed, [v.to_dict() for v in report.violations]
         assert set(report.checked) == {
             "soc_monotonic", "teleport_bound", "landed_drift",
-            "engine_lockstep", "guarantee_sanity", "assurance_lockstep",
-            "no_unhandled_exception",
+            "planned_path_clearance", "engine_lockstep", "guarantee_sanity",
+            "assurance_lockstep", "no_unhandled_exception",
         }
 
     def test_report_shape_and_determinism(self):

@@ -1,0 +1,486 @@
+"""The obstacle-aware planning subsystem (:mod:`repro.plan`).
+
+Four layers of guarantees:
+
+1. Grid semantics — primitive rasterisation, the closed-boundary
+   convention, conservative inflation, and the pure-NumPy nearest-obstacle
+   index agreeing with brute force.
+2. Planner properties — every A* path is collision-free on BOTH the
+   inflated grid it searched and the raw grid (the oracle's view),
+   straight-line legs pass through untouched, disconnected space raises.
+3. Routing properties — tours visit every assigned point, 2-opt never
+   lengthens a tour, fleet partitions occupy disjoint east-bands (the
+   inter-UAV separation property).
+4. Integration — the scenario loader routes missions, SarMission routes
+   coverage tracks and altitude re-plans, the ``planned_path_clearance``
+   oracle catches a plan that cuts through a building, and detection
+   gating agrees with the configured camera.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.harness.oracles import (
+    PlannedPathClearanceOracle,
+    run_scenario_oracles,
+)
+from repro.plan import (
+    ObstacleField,
+    ObstacleIndex,
+    OccupancyGrid3D,
+    PlanError,
+    inspection_points,
+    nearest_neighbor_tour,
+    partition_points,
+    plan_inspection_tours,
+    plan_path,
+    route_waypoints,
+    shortcut_path,
+    tour_length,
+    two_opt,
+)
+from repro.sar.coverage import CameraConfig, swath_width_m
+from repro.sar.mission import SarMission
+from repro.scenario import ScenarioError, lint_scenario, load_scenario
+from repro.uav.world import Person
+
+SCENARIOS = Path(__file__).resolve().parents[1] / "scenarios"
+
+
+def _wall_field(inflation_m: float = 2.0) -> ObstacleField:
+    """A 100 m world split by a wall with clearance over the top."""
+    return ObstacleField.build(
+        size_m=(100.0, 100.0, 40.0),
+        cell_m=2.0,
+        boxes=[((40.0, 0.0, 0.0), (60.0, 100.0, 25.0))],
+        cylinders=[],
+        inflation_m=inflation_m,
+    )
+
+
+class TestOccupancyGrid:
+    def test_empty_grid_shape_and_freeness(self):
+        grid = OccupancyGrid3D.empty((40.0, 20.0, 10.0), 4.0)
+        assert grid.shape == (10, 5, 3)
+        assert not grid.occupied.any()
+        assert grid.is_free((1.0, 1.0, 1.0))
+
+    def test_box_occupies_cell_centres_inside(self):
+        grid = OccupancyGrid3D.empty((40.0, 40.0, 20.0), 4.0)
+        grid.add_box((8.0, 8.0, 0.0), (16.0, 16.0, 8.0))
+        assert not grid.is_free((10.0, 10.0, 2.0))
+        assert grid.is_free((30.0, 30.0, 2.0))
+        assert grid.is_free((10.0, 10.0, 18.0))  # above the box
+
+    def test_cylinder_occupies_radius(self):
+        grid = OccupancyGrid3D.empty((40.0, 40.0, 20.0), 2.0)
+        grid.add_cylinder((20.0, 20.0), 6.0, 10.0)
+        assert not grid.is_free((20.0, 20.0, 5.0))
+        assert grid.is_free((20.0, 35.0, 5.0))
+        assert grid.is_free((20.0, 20.0, 15.0))  # above the mast
+
+    def test_degenerate_box_raises(self):
+        grid = OccupancyGrid3D.empty((40.0, 40.0, 20.0), 4.0)
+        with pytest.raises(PlanError):
+            grid.add_box((10.0, 10.0, 0.0), (10.0, 20.0, 8.0))
+
+    def test_upper_boundary_belongs_to_last_cell(self):
+        # A waypoint at exactly the area edge must see the obstacle that
+        # fills the boundary cell — not fall outside into "free".
+        grid = OccupancyGrid3D.empty((40.0, 40.0, 20.0), 4.0)
+        grid.add_box((0.0, 36.0, 0.0), (40.0, 40.0, 20.0))
+        assert not grid.is_free((20.0, 40.0, 10.0))
+        assert grid.is_free((20.0, 41.0, 10.0))  # genuinely outside
+
+    def test_outside_points_are_free(self):
+        grid = OccupancyGrid3D.empty((40.0, 40.0, 20.0), 4.0)
+        grid.occupied[:] = True
+        assert grid.is_free((20.0, 20.0, 50.0))
+        assert grid.is_free((-5.0, 20.0, 10.0))
+
+    def test_segment_free_detects_wall(self):
+        field = _wall_field()
+        assert not field.grid.segment_free((10.0, 50.0, 10.0), (90.0, 50.0, 10.0))
+        assert field.grid.segment_free((10.0, 50.0, 35.0), (90.0, 50.0, 35.0))
+
+    def test_inflation_smaller_than_cell_still_dilates(self):
+        # Regression: a naive radius/cell dilation rounds 3 m / 4 m cells
+        # down to zero offsets and silently skips inflation entirely.
+        grid = OccupancyGrid3D.empty((40.0, 40.0, 20.0), 4.0)
+        grid.add_box((16.0, 16.0, 0.0), (24.0, 24.0, 8.0))
+        inflated = grid.inflate(3.0)
+        assert inflated.occupied.sum() > grid.occupied.sum()
+
+    def test_inflation_preserves_raw_and_is_monotone(self):
+        field = _wall_field(inflation_m=3.0)
+        assert (
+            field.inflated.occupied.sum() > field.grid.occupied.sum()
+        )
+        # Everything raw-occupied stays occupied after inflation.
+        assert (field.inflated.occupied | ~field.grid.occupied).all()
+
+    def test_nearest_free_snaps_interior_point(self):
+        field = _wall_field()
+        snapped = field.grid.nearest_free((50.0, 50.0, 10.0))
+        assert field.grid.is_free(snapped)
+        free_point = (10.0, 10.0, 10.0)
+        assert field.grid.nearest_free(free_point) == free_point
+
+    def test_fully_occupied_grid_raises(self):
+        grid = OccupancyGrid3D.empty((8.0, 8.0, 8.0), 4.0)
+        grid.occupied[:] = True
+        with pytest.raises(PlanError):
+            grid.nearest_free((4.0, 4.0, 4.0))
+
+
+class TestObstacleIndex:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(7)
+        cloud = rng.uniform(0.0, 100.0, size=(200, 3))
+        queries = rng.uniform(-20.0, 120.0, size=(50, 3))
+        index = ObstacleIndex(cloud, bin_m=16.0)
+        got = index.nearest_distance(queries)
+        want = np.array(
+            [np.linalg.norm(cloud - q, axis=1).min() for q in queries]
+        )
+        assert np.allclose(got, want)
+
+    def test_empty_cloud_is_infinitely_clear(self):
+        index = ObstacleIndex(np.empty((0, 3)), bin_m=8.0)
+        assert np.isinf(index.nearest_distance(np.zeros((3, 3)))).all()
+
+    def test_grid_clearance_query(self):
+        field = _wall_field()
+        clear = field.grid.clearance_m(np.asarray([[10.0, 50.0, 10.0]]))
+        # Wall starts at east 40; nearest occupied cell centre is at 41.
+        assert 29.0 <= float(clear[0]) <= 33.0
+
+
+class TestPlanner:
+    def test_straight_leg_untouched(self):
+        field = _wall_field()
+        path = plan_path(field.inflated, (10.0, 10.0, 35.0), (90.0, 10.0, 35.0))
+        assert path == [(10.0, 10.0, 35.0), (90.0, 10.0, 35.0)]
+
+    def test_blocked_leg_routes_collision_free(self):
+        field = _wall_field()
+        start, goal = (10.0, 50.0, 10.0), (90.0, 50.0, 10.0)
+        path = plan_path(field.inflated, start, goal)
+        assert path[0] == start and path[-1] == goal
+        assert len(path) > 2
+        assert field.inflated.path_free(path)
+        assert field.grid.path_free(path)
+
+    def test_shortcut_never_longer(self):
+        field = _wall_field()
+        start, goal = (10.0, 50.0, 10.0), (90.0, 50.0, 10.0)
+        path = plan_path(field.inflated, start, goal)
+        # The smoothed path must beat the rectilinear detour bound.
+        direct = math.dist(start, goal)
+        assert direct < tour_length(path) < 2.5 * direct
+
+    def test_shortcut_path_keeps_endpoints(self):
+        field = _wall_field()
+        points = [(10.0, 10.0, 35.0), (30.0, 10.0, 35.0), (90.0, 10.0, 35.0)]
+        out = shortcut_path(field.inflated, points)
+        assert out[0] == points[0] and out[-1] == points[-1]
+        assert len(out) <= len(points)
+
+    def test_endpoint_inside_obstacle_snaps(self):
+        field = _wall_field()
+        path = plan_path(field.inflated, (10.0, 50.0, 10.0), (50.0, 50.0, 10.0))
+        assert field.inflated.is_free(path[-1])
+        assert field.grid.path_free(path)
+
+    def test_disconnected_space_raises(self):
+        sealed = ObstacleField.build(
+            size_m=(60.0, 60.0, 20.0),
+            cell_m=2.0,
+            boxes=[((28.0, 0.0, 0.0), (32.0, 60.0, 20.0))],
+            cylinders=[],
+            inflation_m=0.0,
+        )
+        with pytest.raises(PlanError):
+            plan_path(sealed.inflated, (5.0, 30.0, 10.0), (55.0, 30.0, 10.0))
+
+    def test_route_waypoints_multi_leg(self):
+        field = _wall_field()
+        start = (5.0, 5.0, 10.0)
+        routed = route_waypoints(
+            field, start, [(90.0, 50.0, 10.0), (10.0, 90.0, 10.0)]
+        )
+        assert field.grid.path_free([start] + routed)
+        # Both original goals survive as flown waypoints.
+        assert (90.0, 50.0, 10.0) in routed
+        assert (10.0, 90.0, 10.0) in routed
+
+    def test_boundary_waypoint_does_not_crash(self):
+        field = _wall_field()
+        routed = route_waypoints(
+            field, (5.0, 5.0, 10.0), [(50.0, 100.0, 10.0)]
+        )
+        assert field.grid.path_free([(5.0, 5.0, 10.0)] + routed)
+
+
+class TestRouting:
+    def _points(self, n: int = 40, seed: int = 3) -> list:
+        rng = np.random.default_rng(seed)
+        return [
+            (float(e), float(nn), 20.0)
+            for e, nn in rng.uniform(0.0, 200.0, size=(n, 2))
+        ]
+
+    def test_nearest_neighbor_visits_everything_once(self):
+        points = self._points()
+        order = nearest_neighbor_tour((0.0, 0.0, 20.0), points)
+        assert sorted(order) == list(range(len(points)))
+
+    def test_two_opt_never_longer(self):
+        points = self._points()
+        start = (0.0, 0.0, 20.0)
+        order = nearest_neighbor_tour(start, points)
+        improved = two_opt(start, points, order)
+        assert sorted(improved) == sorted(order)
+        before = tour_length([start] + [points[i] for i in order])
+        after = tour_length([start] + [points[i] for i in improved])
+        assert after <= before + 1e-9
+
+    def test_partition_separation_property(self):
+        points = self._points(n=50)
+        for n_parts in (2, 3, 4):
+            parts = partition_points(points, n_parts)
+            assert sorted(i for part in parts for i in part) == list(
+                range(len(points))
+            )
+            assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+            for left, right in zip(parts, parts[1:]):
+                if left and right:
+                    assert max(points[i][0] for i in left) <= min(
+                        points[i][0] for i in right
+                    )
+
+    def test_inspection_points_respect_bounds_and_obstacles(self):
+        field = _wall_field(inflation_m=3.0)
+        points = inspection_points(100.0, 15.0, 10.0, field)
+        assert points
+        for east, north, up in points:
+            assert 10.0 <= east <= 90.0
+            assert 10.0 <= north <= 90.0
+            assert up == 10.0
+        free = field.inflated.points_free(np.asarray(points))
+        assert free.all()
+
+    def test_plan_inspection_tours_clear_and_separated(self):
+        field = _wall_field(inflation_m=3.0)
+        points = inspection_points(100.0, 15.0, 10.0, field)
+        starts = [(5.0, 5.0, 10.0), (95.0, 5.0, 10.0)]
+        tours = plan_inspection_tours(starts, points, field)
+        assert len(tours) == 2
+        visited = set()
+        for start, tour in zip(starts, tours):
+            assert field.grid.path_free([start] + tour)
+            visited.update(tour)
+        # Every inspection point is flown by exactly one UAV.
+        assert visited >= set(points)
+
+
+URBAN = {
+    "seed": 5,
+    "area_size_m": [200.0, 200.0],
+    "obstacles": {
+        "cell_m": 4.0,
+        "inflation_m": 3.0,
+        "boxes": [{"min": [80.0, 0.0, 0.0], "max": [110.0, 200.0, 30.0]}],
+        "cylinders": [{"center": [150.0, 100.0], "radius": 10.0, "height": 25.0}],
+    },
+    "camera": {"half_fov_deg": 30.0, "overlap": 0.2},
+    "uavs": [
+        {"id": "uav1", "base": [10.0, 10.0, 0.0],
+         "mission": [[40.0, 100.0, 12.0], [170.0, 100.0, 12.0]]},
+    ],
+}
+
+
+class TestScenarioIntegration:
+    def test_loader_routes_mission_around_wall(self):
+        scenario = load_scenario(json.loads(json.dumps(URBAN)))
+        world = scenario.world
+        uav = world.uavs["uav1"]
+        flown = [tuple(uav.dynamics.position)] + [
+            tuple(wp) for wp in uav.plan.waypoints
+        ]
+        assert len(uav.plan.waypoints) > 2  # the wall forced a detour
+        assert world.obstacles.grid.path_free(flown)
+        assert world.camera == CameraConfig(half_fov_deg=30.0, overlap=0.2)
+
+    def test_urban_archive_loads_and_lints(self):
+        config = json.loads((SCENARIOS / "urban_sar.json").read_text())
+        assert lint_scenario(config) == []
+        world = load_scenario(config).world
+        for uav in world.uavs.values():
+            flown = [tuple(uav.dynamics.position)] + [
+                tuple(wp) for wp in uav.plan.waypoints
+            ]
+            assert world.obstacles.grid.path_free(flown)
+
+    @pytest.mark.parametrize(
+        "patch, message",
+        [
+            ({"cell_m": 0.0}, "cell_m"),
+            ({"inflation_m": -1.0}, "inflation_m"),
+            ({"boxes": [{"min": [0, 0, 0], "max": [0, 10, 10]}]}, "boxes"),
+            ({"cylinders": [{"center": [10, 10], "radius": -1, "height": 5}]},
+             "cylinders"),
+            ({"ceiling_m": -5.0}, "ceiling_m"),
+        ],
+    )
+    def test_malformed_obstacles_rejected(self, patch, message):
+        config = json.loads(json.dumps(URBAN))
+        config["obstacles"] = {**config["obstacles"], **patch}
+        with pytest.raises(ScenarioError, match=message):
+            load_scenario(config)
+
+    def test_malformed_camera_rejected(self):
+        config = json.loads(json.dumps(URBAN))
+        config["camera"] = {"half_fov_deg": 95.0}
+        with pytest.raises(ScenarioError, match="half_fov_deg"):
+            load_scenario(config)
+
+    def test_lint_flags_unknown_obstacle_keys(self):
+        config = json.loads(json.dumps(URBAN))
+        config["obstacles"]["boxs"] = []
+        config["camera"]["fov"] = 1.0
+        problems = lint_scenario(config)
+        assert any("obstacles.boxs" in p for p in problems)
+        assert any("camera.fov" in p for p in problems)
+
+    def test_unroutable_mission_is_a_scenario_error(self):
+        config = json.loads(json.dumps(URBAN))
+        # Wall to the explicit ceiling: no route over the top any more.
+        config["obstacles"]["ceiling_m"] = 30.0
+        with pytest.raises(ScenarioError, match="mission"):
+            load_scenario(config)
+
+    def test_assign_paths_routes_and_scan_uses_camera(self):
+        scenario = load_scenario(json.loads(json.dumps(URBAN)))
+        world = scenario.world
+        mission = SarMission(world=world, altitude_m=18.0)
+        assert mission.camera == world.camera
+        plans = mission.assign_paths()
+        for uav_id, plan in plans.items():
+            base = tuple(world.uavs[uav_id].spec.base_position)
+            assert world.obstacles.grid.path_free(
+                [base] + [tuple(wp) for wp in plan]
+            )
+
+    def test_set_fleet_altitude_reroutes(self):
+        scenario = load_scenario(json.loads(json.dumps(URBAN)))
+        world = scenario.world
+        mission = SarMission(world=world, altitude_m=35.0)
+        mission.assign_paths()
+        # Descending to 12 m puts the remaining track below the rooftops.
+        mission.set_fleet_altitude(12.0)
+        for uav in world.uavs.values():
+            flown = [tuple(uav.dynamics.position)] + [
+                tuple(wp) for wp in uav.plan.waypoints
+            ]
+            assert world.obstacles.grid.path_free(flown)
+
+
+class TestClearanceOracle:
+    def test_catches_plan_through_building(self):
+        scenario = load_scenario(json.loads(json.dumps(URBAN)))
+        world = scenario.world
+        oracle = PlannedPathClearanceOracle()
+        oracle.observe(world, 0.0)
+        assert not oracle.violations  # the loader routed the mission
+        # A raw replace that cuts straight through the wall must fire.
+        world.uavs["uav1"].plan.replace(
+            [(40.0, 100.0, 12.0), (170.0, 100.0, 12.0)]
+        )
+        oracle.observe(world, 1.0)
+        assert oracle.violations
+        assert oracle.violations[0].oracle == "planned_path_clearance"
+
+    def test_rechecks_only_on_plan_change(self):
+        scenario = load_scenario(json.loads(json.dumps(URBAN)))
+        world = scenario.world
+        oracle = PlannedPathClearanceOracle()
+        oracle.observe(world, 0.0)
+        world.uavs["uav1"].plan.replace([(40.0, 100.0, 12.0), (170.0, 100.0, 12.0)])
+        oracle.observe(world, 1.0)
+        oracle.observe(world, 2.0)  # same list object: not re-reported
+        assert len(oracle.violations) == 1
+
+    def test_obstacle_free_world_checks_nothing(self):
+        scenario = load_scenario(
+            {"seed": 1, "uavs": [{"id": "a", "mission": [[10.0, 10.0, 10.0]]}]}
+        )
+        oracle = PlannedPathClearanceOracle()
+        oracle.observe(scenario.world, 0.0)
+        assert not oracle.violations
+
+    def test_full_suite_passes_on_urban_archive(self):
+        config = json.loads((SCENARIOS / "urban_sar.json").read_text())
+        report = run_scenario_oracles(config, horizon_s=8.0)
+        assert "planned_path_clearance" in report.checked
+        assert report.passed, [v.to_dict() for v in report.violations]
+
+
+class TestCameraAgreement:
+    """Detection gating and coverage planning share the camera (the
+    ``mission.py:132`` regression: gating used default optics no matter
+    what the plan was built with)."""
+
+    ALTITUDE = 20.0
+
+    def _mission(self):
+        scenario = load_scenario(
+            {
+                "seed": 0,
+                "area_size_m": [400.0, 300.0],
+                "camera": {"half_fov_deg": 20.0, "overlap": 0.3},
+                "uavs": [{"id": "uav1", "base": [0.0, 0.0, 0.0]}],
+            }
+        )
+        return SarMission(world=scenario.world, altitude_m=self.ALTITUDE)
+
+    def test_gating_uses_configured_swath(self):
+        mission = self._mission()
+        world = mission.world
+        uav = world.uavs["uav1"]
+        uav.dynamics.position = (100.0, 100.0, self.ALTITUDE)
+        configured_half = mission.camera.swath_width_m(self.ALTITUDE) / 2.0
+        default_half = swath_width_m(self.ALTITUDE) / 2.0
+        assert configured_half < default_half
+        # A person between the two half-swaths: the default camera would
+        # attempt a detection, the configured one must not.
+        between = (configured_half + default_half) / 2.0
+        world.persons.append(Person("p-out", (100.0 + between, 100.0)))
+        mission._scan(uav, 1.0)
+        assert mission.metrics.attempts == []
+        # Inside the configured swath the attempt fires.
+        world.persons.append(
+            Person("p-in", (100.0 + 0.9 * configured_half, 100.0))
+        )
+        mission._scan(uav, 10.0)
+        assert len(mission.metrics.attempts) == 1
+
+    def test_plan_spacing_matches_configured_swath(self):
+        mission = self._mission()
+        plans = mission.assign_paths()
+        spacing = mission.camera.swath_width_m(mission.altitude_m)
+        (path,) = plans.values()
+        easts = sorted({round(wp[0], 9) for wp in path})
+        assert len(easts) > 1
+        gaps = [b - a for a, b in zip(easts, easts[1:])]
+        assert all(gap <= spacing + 1e-9 for gap in gaps)
+        # The default camera would have cut the track count roughly in
+        # half; pin that the configured spacing actually took effect.
+        assert len(easts) == math.ceil(400.0 / spacing)
